@@ -1,0 +1,442 @@
+// Command parallax-bench regenerates the paper's evaluation tables and
+// figures from the reproduced system:
+//
+//	parallax-bench -experiment fig6     protectable code bytes (Figure 6)
+//	parallax-bench -experiment fig5a    function chain slowdowns (Figure 5a)
+//	parallax-bench -experiment fig5b    whole-program overheads (Figure 5b)
+//	parallax-bench -experiment uchain   µ-chain ablation (§V-C)
+//	parallax-bench -experiment wurster  split-cache attack matrix (§VI/§IX)
+//	parallax-bench -experiment oh       oblivious-hashing comparison (§VIII-C)
+//	parallax-bench -experiment prob     probabilistic variant counts (§V-B)
+//	parallax-bench -experiment all      everything
+//
+// All numbers come from the deterministic emulator cycle model; runs
+// are reproducible bit for bit. See EXPERIMENTS.md for the
+// paper-versus-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallax/internal/attack"
+	"parallax/internal/baseline/checksum"
+	"parallax/internal/baseline/oh"
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/dyngen"
+	"parallax/internal/emu"
+	"parallax/internal/experiment"
+	"parallax/internal/ir"
+)
+
+func main() {
+	which := flag.String("experiment", "all",
+		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|all")
+	flag.Parse()
+
+	runs := map[string]func() error{
+		"fig6":    fig6,
+		"fig5a":   fig5a,
+		"fig5b":   fig5b,
+		"uchain":  uchain,
+		"wurster": wurster,
+		"oh":      ohExperiment,
+		"prob":    probExperiment,
+	}
+	order := []string{"fig6", "fig5a", "fig5b", "uchain", "wurster", "oh", "prob"}
+
+	var err error
+	if *which == "all" {
+		for _, name := range order {
+			if err = runs[name](); err != nil {
+				break
+			}
+		}
+	} else if run, ok := runs[*which]; ok {
+		err = run()
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parallax-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func fig6() error {
+	header("Figure 6 — protectable code bytes (strict% / compositional%)")
+	rows, err := experiment.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %10s %8s %14s %14s %14s\n",
+		"program", "text", "existing", "far-ret", "imm-mod", "jump-mod", "any")
+	for _, r := range rows {
+		fmt.Printf("%-8s %8d %9.1f%% %7.1f%% %6.1f%%/%5.1f%% %6.1f%%/%5.1f%% %6.1f%%/%5.1f%%\n",
+			r.Program, r.TextBytes, r.Existing, r.FarRet,
+			r.ImmMod, r.ImmModReach, r.JumpMod, r.JumpModReach, r.Any, r.AnyReach)
+	}
+	fmt.Println("\npaper: existing 3-6%, far-ret <=1%, imm-mod 37-60%, jump-mod 43-84%, any 63-90% (avg 75%)")
+	return nil
+}
+
+var fig5Cache []experiment.Fig5Row
+
+func fig5Rows() ([]experiment.Fig5Row, error) {
+	if fig5Cache != nil {
+		return fig5Cache, nil
+	}
+	rows, err := experiment.Fig5(experiment.Fig5Modes())
+	fig5Cache = rows
+	return rows, err
+}
+
+func fig5a() error {
+	header("Figure 5a — function chain slowdown (x native, per call)")
+	rows, err := fig5Rows()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %14s %14s %10s\n",
+		"program", "strategy", "native cyc", "chain cyc", "slowdown")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-10s %14.0f %14.0f %9.1fx\n",
+			r.Program, r.Mode, r.NativePerCall, r.ChainPerCall, r.Slowdown)
+	}
+	fmt.Println("\npaper: cleartext 3.7x(gcc)-46.7x(wget); rc4 7.6x(nginx)-64.3x(wget)")
+	return nil
+}
+
+func fig5b() error {
+	header("Figure 5b — whole-program overhead")
+	rows, err := fig5Rows()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %10s %8s\n", "program", "strategy", "overhead", "calls")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-10s %9.2f%% %8d\n", r.Program, r.Mode, r.OverheadPct, r.Calls)
+	}
+	fmt.Println("\npaper: cleartext 0.1%(gcc)-2.7%(wget); rc4 0.2%-3.7%; always <4%")
+	fmt.Println("note: our absolute percentages are larger because the workloads run ~10^4x")
+	fmt.Println("fewer cycles than the authors' testbed against similar per-call chain costs;")
+	fmt.Println("the confinement property (overhead ∝ verification calls, protected code at")
+	fmt.Println("native speed) is what the experiment demonstrates. See EXPERIMENTS.md.")
+	return nil
+}
+
+func uchain() error {
+	header("§V-C ablation — µ-chains vs function chains")
+	rows, err := experiment.MuAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %14s %8s %18s\n",
+		"program", "func chain cyc", "µ-chain cyc", "ratio", "chain words")
+	for _, r := range rows {
+		fmt.Printf("%-8s %14.0f %14.0f %7.2fx %10d -> %d\n",
+			r.Program, r.FuncPerCall, r.MuPerCall, r.Ratio, r.FuncChainLen, r.MuChainLen)
+	}
+	fmt.Println("\npaper: µ-chain overhead exceeds function chains by ~2x on average")
+	return nil
+}
+
+// wurster runs the §VI security matrix on the license-check scenario:
+// static patch and split-cache attack against the checksumming baseline
+// and against Parallax.
+func wurster() error {
+	header("§VI/§IX — Wurster split-cache attack matrix")
+
+	// Checksumming baseline.
+	m := licenseModule()
+	cs, err := checksum.Protect(m, checksum.Options{})
+	if err != nil {
+		return err
+	}
+	clean := attack.Run(cs.Image, nil)
+	sym := cs.Image.MustSymbol("validate")
+	patch := []byte{0xB8, 0x01, 0x00, 0x00, 0x00, 0xC3} // mov eax,1; ret
+
+	static := cs.Image.Clone()
+	if err := attack.PatchBytes(static, sym.Addr, patch); err != nil {
+		return err
+	}
+	staticRes := attack.Run(static, nil)
+
+	cpu, err := emu.LoadImage(cs.Image)
+	if err != nil {
+		return err
+	}
+	cpu.OS = emu.NewOS(nil)
+	attack.Wurster(cpu, sym.Addr, patch)
+	wErr := cpu.Run()
+
+	fmt.Printf("%-22s %-24s %s\n", "protection", "attack", "outcome")
+	fmt.Printf("%-22s %-24s clean run: status=%d\n", "checksumming", "(none)", clean.Status)
+	fmt.Printf("%-22s %-24s %s\n", "checksumming", "static patch",
+		describe(staticRes.Status, staticRes.Err, checksum.TamperStatus))
+	outcome := "DEFEATED: cracked binary runs as licensed"
+	if wErr != nil || cpu.Status == checksum.TamperStatus {
+		outcome = "detected"
+	}
+	fmt.Printf("%-22s %-24s %s (status=%d)\n", "checksumming", "Wurster split-cache",
+		outcome, cpu.Status)
+
+	// Parallax.
+	prot, err := core.Protect(licenseModuleChainable(), core.Options{
+		VerifyFuncs: []string{"validate"},
+	})
+	if err != nil {
+		return err
+	}
+	pClean := attack.Run(prot.Image, nil)
+	g := prot.Chains["validate"].Gadgets()[0]
+
+	pStatic := prot.Image.Clone()
+	if err := attack.PatchBytes(pStatic, g.Addr, []byte{0xCC}); err != nil {
+		return err
+	}
+	pStaticRes := attack.Run(pStatic, nil)
+
+	cpu2, err := emu.LoadImage(prot.Image)
+	if err != nil {
+		return err
+	}
+	cpu2.OS = emu.NewOS(nil)
+	attack.Wurster(cpu2, g.Addr, []byte{0xCC})
+	w2Err := cpu2.Run()
+
+	fmt.Printf("%-22s %-24s clean run: status=%d\n", "parallax", "(none)", pClean.Status)
+	fmt.Printf("%-22s %-24s %s\n", "parallax", "static patch (gadget)",
+		detected(pStaticRes.Status != pClean.Status || pStaticRes.Err != nil))
+	fmt.Printf("%-22s %-24s %s (status=%d err=%v)\n", "parallax", "Wurster split-cache",
+		detected(w2Err != nil || cpu2.Status != pClean.Status), cpu2.Status, w2Err != nil)
+	fmt.Println("\npaper: the Wurster attack defeats all checksumming; Parallax is immune")
+	fmt.Println("because its chains *execute* the protected bytes through the fetch path.")
+	return nil
+}
+
+func describe(status int32, err error, tamper int32) string {
+	if status == tamper {
+		return fmt.Sprintf("detected (tamper response %d)", tamper)
+	}
+	if err != nil {
+		return "malfunctioned"
+	}
+	return fmt.Sprintf("NOT detected (status=%d)", status)
+}
+
+func detected(d bool) string {
+	if d {
+		return "detected (malfunction)"
+	}
+	return "NOT detected"
+}
+
+func ohExperiment() error {
+	header("§VIII-C — oblivious hashing comparison")
+	m := licenseModule()
+	p, err := oh.Protect(m, oh.Options{Funcs: []string{"validate"}})
+	if err != nil {
+		return err
+	}
+	img, err := oh.Calibrate(p, nil)
+	if err != nil {
+		return err
+	}
+	clean := attack.Run(img, nil)
+	fmt.Printf("OH clean run:                       status=%d\n", clean.Status)
+
+	// Non-determinism: run the ptrace detector under OH.
+	pm := ptraceModule()
+	pp, err := oh.Protect(pm, oh.Options{Funcs: []string{"antidebug"}})
+	if err != nil {
+		return err
+	}
+	pimg, err := oh.Calibrate(pp, nil)
+	if err != nil {
+		return err
+	}
+	cpu, err := emu.LoadImage(pimg)
+	if err != nil {
+		return err
+	}
+	cpu.OS = &emu.OS{DebuggerAttached: true}
+	if err := cpu.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("OH on ptrace detector, debugger on: status=%d", cpu.Status)
+	if cpu.Status == oh.TamperStatus {
+		fmt.Println("  <- FALSE ALARM on untampered binary")
+	} else {
+		fmt.Println()
+	}
+
+	// Parallax protects the same non-deterministic control flow: the
+	// verification chain runs a pure helper, while the ptrace branch
+	// itself carries crafted gadgets.
+	prot, err := core.Protect(ptraceModuleChainable(), core.Options{
+		VerifyFuncs: []string{"mixcheck"},
+	})
+	if err != nil {
+		return err
+	}
+	cpu2, err := emu.LoadImage(prot.Image)
+	if err != nil {
+		return err
+	}
+	cpu2.OS = &emu.OS{DebuggerAttached: true}
+	if err := cpu2.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("Parallax same scenario:             status=%d  <- correct behaviour preserved\n",
+		cpu2.Status)
+	fmt.Println("\npaper: OH cannot protect code with non-deterministic inputs; Parallax can.")
+	return nil
+}
+
+func probExperiment() error {
+	header("§V-B — probabilistic chain variants")
+	for _, p := range corpus.All() {
+		prot, err := core.Protect(p.Build(), core.Options{
+			VerifyFuncs:  []string{p.VerifyFunc},
+			ChainMode:    dyngen.ModeProb,
+			ProbVariants: 4,
+		})
+		if err != nil {
+			return err
+		}
+		tb := prot.Tables[p.VerifyFunc]
+		multi, product := 0, 1.0
+		for _, n := range tb.VariantsPerWord {
+			if n > 1 {
+				multi++
+				if product < 1e30 {
+					product *= float64(n)
+				}
+			}
+		}
+		fmt.Printf("%-8s chain words=%4d  words with |G_i|>1: %4d  distinct subsets ~ %.2e\n",
+			p.Name, len(tb.VariantsPerWord), multi, product)
+	}
+	fmt.Println("\npaper: prod |G_i| distinct gadget subsets checkable by one chain (§V-B)")
+	return nil
+}
+
+// licenseModule is the wurster/oh scenario program.
+func licenseModule() *ir.Module {
+	mb := ir.NewModule("license")
+	mb.Global("key", []byte{0x21, 0x43, 0x65, 0x87})
+
+	fb := mb.Func("validate", 0)
+	k := fb.Load(fb.Addr("key", 0))
+	acc := fb.Copy(k)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim := fb.Const(16)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	seven := fb.Const(7)
+	fb.Assign(acc, fb.Xor(fb.Mul(acc, seven), i))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	zero0 := fb.Const(0)
+	ok := fb.Cmp(ir.Ne, acc, zero0) // embedded key mixes to non-zero
+	fb.Br(ok, "good", "bad")
+	fb.Block("good")
+	fb.Ret(fb.Const(1))
+	fb.Block("bad")
+	fb.Ret(fb.Const(0))
+
+	fb = mb.Func("main", 0)
+	r := fb.Call("validate")
+	zero := fb.Const(0)
+	c2 := fb.Cmp(ir.Ne, r, zero)
+	fb.Br(c2, "licensed", "refused")
+	fb.Block("licensed")
+	fb.Ret(fb.Const(7))
+	fb.Block("refused")
+	fb.Ret(fb.Const(13))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// licenseModuleChainable returns the same scenario with validate as a
+// chainable leaf.
+func licenseModuleChainable() *ir.Module { return licenseModule() }
+
+// ptraceModule is the §IV-A anti-debugging scenario.
+func ptraceModule() *ir.Module {
+	mb := ir.NewModule("ptrace")
+	fb := mb.Func("antidebug", 0)
+	req := fb.Const(0)
+	r := fb.Syscall(26, req)
+	zero := fb.Const(0)
+	bad := fb.Cmp(ir.Ne, r, zero)
+	fb.Br(bad, "debugged", "clean")
+	fb.Block("debugged")
+	fb.Ret(fb.Const(1))
+	fb.Block("clean")
+	fb.Ret(fb.Const(0))
+
+	fb = mb.Func("main", 0)
+	d := fb.Call("antidebug")
+	hundred := fb.Const(100)
+	fb.Ret(fb.Add(d, hundred))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// ptraceModuleChainable adds a pure helper Parallax can chain while the
+// syscall-bearing detector itself carries crafted gadgets.
+func ptraceModuleChainable() *ir.Module {
+	mb := ir.NewModule("ptrace")
+	fb := mb.Func("mixcheck", 1)
+	v := fb.Param(0)
+	acc := fb.Copy(v)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim := fb.Const(12)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	five := fb.Const(5)
+	fb.Assign(acc, fb.Add(fb.Xor(acc, i), fb.Shl(acc, five)))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(acc)
+
+	fb = mb.Func("antidebug", 0)
+	req := fb.Const(0)
+	r := fb.Syscall(26, req)
+	zero := fb.Const(0)
+	bad := fb.Cmp(ir.Ne, r, zero)
+	fb.Br(bad, "debugged", "clean")
+	fb.Block("debugged")
+	fb.Ret(fb.Const(1))
+	fb.Block("clean")
+	fb.Ret(fb.Const(0))
+
+	fb = mb.Func("main", 0)
+	d := fb.Call("antidebug")
+	mv := fb.Call("mixcheck", d)
+	fb.Call("mixcheck", mv)
+	hundred := fb.Const(100)
+	fb.Ret(fb.Add(d, hundred))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

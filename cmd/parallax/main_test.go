@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the tool and drives the full protect → run →
+// inspect → attack workflow through the command-line surface.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "parallax")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	run := func(wantOK bool, args ...string) string {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if (err == nil) != wantOK {
+			t.Fatalf("parallax %v: err=%v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	base := filepath.Join(dir, "nginx.plx")
+	prot := filepath.Join(dir, "nginx-p.plx")
+
+	out := run(true, "build", "-prog", "nginx", "-o", base)
+	if !strings.Contains(out, "built nginx") {
+		t.Errorf("build output: %s", out)
+	}
+
+	out = run(true, "protect", "-prog", "nginx", "-mode", "xor", "-o", prot)
+	if !strings.Contains(out, "chain bucket:") {
+		t.Errorf("protect output: %s", out)
+	}
+
+	baseOut := run(true, "run", base)
+	protOut := run(true, "run", prot)
+	statusOf := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "status=") {
+				return strings.Fields(line)[0]
+			}
+		}
+		return ""
+	}
+	if statusOf(baseOut) != statusOf(protOut) || statusOf(baseOut) == "" {
+		t.Errorf("status mismatch: base=%q prot=%q", statusOf(baseOut), statusOf(protOut))
+	}
+
+	out = run(true, "gadgets", "-usable", "-limit", "5", prot)
+	if !strings.Contains(out, "gadgets total") {
+		t.Errorf("gadgets output: %s", out)
+	}
+
+	out = run(true, "coverage", "-prog", "nginx")
+	if !strings.Contains(out, "any rule:") {
+		t.Errorf("coverage output: %s", out)
+	}
+
+	out = run(true, "chain", "-prog", "nginx")
+	if !strings.Contains(out, "chain bucket:") || !strings.Contains(out, "gadget") {
+		t.Errorf("chain output: %s", out)
+	}
+
+	// Attack a chain gadget listed by the gadgets command: take the
+	// first usable pop gadget's address.
+	gout := run(true, "gadgets", "-usable", "-kind", "pop", "-limit", "1", prot)
+	line := strings.SplitN(gout, "\n", 2)[0]
+	addr := strings.TrimSuffix(strings.Fields(line)[0], ":")
+	cracked := filepath.Join(dir, "cracked.plx")
+	run(true, "attack", "-addr", addr, "-hex", "cc", "-o", cracked, prot)
+
+	// The attacked binary must misbehave (non-zero exit from the tool,
+	// or a different status) — only if that pop gadget is actually used
+	// by the chain, which we cannot guarantee from here; so only check
+	// that the tool round-trips the patched image.
+	crackedOut, err := exec.Command(bin, "run", cracked).CombinedOutput()
+	t.Logf("cracked run (err=%v): %s", err, firstLine(string(crackedOut)))
+
+	// Unknown command and missing flags fail loudly.
+	run(false, "bogus")
+	run(false, "build", "-prog", "nope", "-o", filepath.Join(dir, "x.plx"))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

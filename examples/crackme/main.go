@@ -1,0 +1,143 @@
+// Software-cracking scenario. The classic crack — invert the license
+// branch — works instantly against a naive binary, so this crackme is
+// built the Parallax way:
+//
+//   - there is no license branch: the key's digest directly decrypts
+//     the secret (wrong key → garbage, nothing to invert);
+//   - the digest function is the verification code, running as a ROP
+//     chain over gadgets crafted into the rest of the binary;
+//   - the expected-digest constant is split (§IV-B2), so it never
+//     appears in the binary for a cracker to search for.
+//
+// The demo mounts three attacks: branch inversion (no branch exists),
+// constant search (constant is split), and patching the digest logic
+// (destroys chain gadgets → malfunction).
+//
+//	go run ./examples/crackme
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"parallax"
+)
+
+const secret = "FLAG{rop-protects-rop}\n"
+
+// goodDigest is the 33-mix digest of the product key "AAAABBBB".
+const goodDigest = uint32(0xA050A051)
+
+// encryptedSecret is the secret xored with the good key's digest
+// bytes; only the correct key decrypts it.
+func encryptedSecret() []byte {
+	out := []byte(secret)
+	for i := range out {
+		out[i] ^= byte(goodDigest >> (8 * (uint(i) & 3)))
+	}
+	return out
+}
+
+func buildCrackme() *parallax.Module {
+	mb := parallax.NewModule("crackme")
+	mb.GlobalZero("keybuf", 16)
+	mb.Global("enc", encryptedSecret())
+	mb.GlobalZero("out", uint32(len(secret)))
+
+	// validate: digest of the typed key — the verification code.
+	fb := mb.Func("validate", 0)
+	buf := fb.Addr("keybuf", 0)
+	h := fb.Const(0x1505)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(parallax.ULt, i, fb.Const(8))
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	ch := fb.Load8(fb.Add(buf, i))
+	k := fb.Const(33)
+	fb.Assign(h, fb.Add(fb.Mul(h, k), ch))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(h)
+
+	fb = mb.Func("main", 0)
+	fd := fb.Const(0)
+	kb := fb.Addr("keybuf", 0)
+	n8 := fb.Const(8)
+	fb.Syscall(3, fd, kb, n8) // read the key
+	digest := fb.Call("validate")
+	// Decrypt: out[i] = enc[i] ^ digest_byte(i&3). No branch decides
+	// anything — a wrong digest simply yields garbage.
+	enc := fb.Addr("enc", 0)
+	out := fb.Addr("out", 0)
+	j := fb.Const(0)
+	fb.Jmp("dec.head")
+	fb.Block("dec.head")
+	lim := fb.Const(int32(len(secret)))
+	c2 := fb.Cmp(parallax.ULt, j, lim)
+	fb.Br(c2, "dec.body", "dec.done")
+	fb.Block("dec.body")
+	three := fb.Const(3)
+	shift := fb.Shl(fb.And(j, three), three)
+	keyByte := fb.And(fb.Shr(digest, shift), fb.Const(0xFF))
+	e := fb.Load8(fb.Add(enc, j))
+	fb.Store8(fb.Add(out, j), fb.Xor(e, keyByte))
+	one2 := fb.Const(1)
+	fb.Assign(j, fb.Add(j, one2))
+	fb.Jmp("dec.head")
+	fb.Block("dec.done")
+	fdOut := fb.Const(1)
+	fb.Syscall(4, fdOut, out, lim)
+	fb.Ret(fb.Const(0))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func main() {
+	p, err := parallax.Protect(buildCrackme(), parallax.Options{
+		VerifyFuncs: []string{"validate"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	goodKey := []byte("AAAABBBB")
+	badKey := []byte("XXXXXXXX")
+
+	fmt.Println("-- legitimate use --")
+	fmt.Printf("good key: %q\n", parallax.Run(p.Image, goodKey).Stdout)
+	fmt.Printf("bad key:  %q\n", parallax.Run(p.Image, badKey).Stdout)
+
+	fmt.Println("\n-- attack 1: invert the license branch --")
+	fmt.Println("there is no license branch: the digest decrypts the secret directly.")
+
+	fmt.Println("\n-- attack 2: search the binary for the expected digest --")
+	found := false
+	for _, s := range p.Image.Sections {
+		d := goodDigest
+		le := []byte{byte(d), byte(d >> 8), byte(d >> 16), byte(d >> 24)}
+		if bytes.Contains(s.Data, le) {
+			found = true
+		}
+	}
+	fmt.Printf("digest constant present in the binary: %v (immediates are split)\n", found)
+
+	fmt.Println("\n-- attack 3: patch the digest logic to a constant --")
+	// The cracker patches validate's multiply constant hoping to force
+	// a known digest — but those bytes carry gadgets the chain uses.
+	g := p.Chains["validate"].Gadgets()[0]
+	cracked := p.Image.Clone()
+	if err := cracked.WriteAt(g.Addr, []byte{0x90, 0x90}); err != nil {
+		log.Fatal(err)
+	}
+	res := parallax.Run(cracked, badKey)
+	fmt.Printf("patched run: stdout=%q status=%d err=%v\n", res.Stdout, res.Status, res.Err)
+	if res.Err != nil || res.Stdout != secret {
+		fmt.Println("=> the patch destroyed a gadget the validate chain executes; the")
+		fmt.Println("   cracked binary cannot produce the secret.")
+	}
+}

@@ -1,0 +1,106 @@
+// The paper's §IV-A running example: a ptrace-based anti-debugging
+// check, tamperproofed with Parallax. The classic attack (Listing 2:
+// nop out the detector's branch so the check always passes) destroys
+// the gadgets overlapped with it, and the verification chain
+// malfunctions.
+//
+//	go run ./examples/ptrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallax"
+)
+
+// buildDetector writes the scenario program:
+//
+//	check_ptrace(): r = ptrace(TRACEME); return r != 0
+//	scramble(x):    pure mixing loop — the verification code
+//	main():         if check_ptrace() { cleanup_and_exit(101) }
+//	                ... licensed work ... exit(7)
+func buildDetector() *parallax.Module {
+	mb := parallax.NewModule("antidebug")
+
+	// scramble: the verification candidate (pure, loopy, diverse).
+	fb := mb.Func("scramble", 1)
+	v := fb.Param(0)
+	acc := fb.Copy(v)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(parallax.ULt, i, fb.Const(24))
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	five := fb.Const(5)
+	seven := fb.Const(7)
+	fb.Assign(acc, fb.Add(fb.Xor(acc, fb.Shl(acc, five)), fb.Mul(i, seven)))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(acc)
+
+	// check_ptrace: non-deterministic — exactly what oblivious hashing
+	// cannot protect (§VIII-C) and Parallax can.
+	fb = mb.Func("check_ptrace", 0)
+	req := fb.Const(0) // PTRACE_TRACEME
+	r := fb.Syscall(26, req)
+	zero := fb.Const(0)
+	fb.Ret(fb.Cmp(parallax.Ne, r, zero))
+
+	fb = mb.Func("main", 0)
+	detected := fb.Call("check_ptrace")
+	fb.Br(detected, "bail", "work")
+	fb.Block("bail")
+	st := fb.Const(101)
+	fb.Syscall(1, st) // cleanup_and_exit
+	fb.RetVoid()
+	fb.Block("work")
+	// Licensed work: scramble a counter a few times.
+	w := fb.Const(3)
+	fb.Assign(w, fb.Call("scramble", w))
+	fb.Assign(w, fb.Call("scramble", w))
+	fb.Ret(fb.Const(7))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func main() {
+	p, err := parallax.Protect(buildDetector(), parallax.Options{
+		VerifyFuncs: []string{"scramble"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clean := parallax.Run(p.Image, nil)
+	debugged := parallax.RunWith(p.Image, parallax.RunConfig{DebuggerAttached: true})
+	fmt.Printf("no debugger:   status=%d (licensed work ran)\n", clean.Status)
+	fmt.Printf("with debugger: status=%d (detector bailed out)\n", debugged.Status)
+
+	// The attack: find check_ptrace's conditional result path and nop
+	// out enough of the detector that it always reports "clean". We nop
+	// the whole detector body after the prologue — brutal, like
+	// Listing 2's overwrite, and guaranteed to hit protected bytes.
+	sym := p.Image.MustSymbol("check_ptrace")
+	cracked := p.Image.Clone()
+	nops := make([]byte, sym.Size-4)
+	for i := range nops {
+		nops[i] = 0x90
+	}
+	if err := cracked.WriteAt(sym.Addr, nops); err != nil {
+		log.Fatal(err)
+	}
+	res := parallax.RunWith(cracked, parallax.RunConfig{DebuggerAttached: true})
+	fmt.Printf("cracked + debugger: status=%d err=%v\n", res.Status, res.Err)
+
+	if res.Err == nil && res.Status == clean.Status {
+		fmt.Println("=> attack succeeded (unexpected!)")
+		return
+	}
+	fmt.Println("=> the nop patch destroyed gadgets crafted into the detector's")
+	fmt.Println("   instructions; the scramble verification chain malfunctioned and the")
+	fmt.Println("   cracked binary is unusable — without a single checksum.")
+}

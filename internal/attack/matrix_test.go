@@ -1,0 +1,224 @@
+package attack
+
+import (
+	"testing"
+
+	"parallax/internal/core"
+	"parallax/internal/emu"
+	"parallax/internal/ir"
+)
+
+// protectedTarget builds a small program protected by Parallax: "mix"
+// is both verification code and contains gadgets the chain uses.
+func protectedTarget(t *testing.T) *core.Protected {
+	t.Helper()
+	mb := ir.NewModule("target")
+
+	fb := mb.Func("mix", 2)
+	a := fb.Param(0)
+	b := fb.Param(1)
+	h := fb.Xor(a, fb.Const(0x5D17))
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim := fb.Const(6)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	k := fb.Const(29)
+	fb.Assign(h, fb.Add(fb.Mul(h, k), b))
+	five := fb.Const(5)
+	fb.Assign(h, fb.Xor(h, fb.Shr(h, five)))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	mask := fb.Const(0x3FFFFFFF)
+	fb.Ret(fb.And(h, mask))
+
+	fb = mb.Func("main", 0)
+	acc := fb.Const(0)
+	j := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim2 := fb.Const(5)
+	c2 := fb.Cmp(ir.ULt, j, lim2)
+	fb.Br(c2, "body", "done")
+	fb.Block("body")
+	fb.Assign(acc, fb.Call("mix", acc, j))
+	one2 := fb.Const(1)
+	fb.Assign(j, fb.Add(j, one2))
+	fb.Jmp("head")
+	fb.Block("done")
+	m127 := fb.Const(127)
+	fb.Ret(fb.And(acc, m127))
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	p, err := core.Protect(m, core.Options{VerifyFuncs: []string{"mix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParallaxSurvivesWurster is the headline security claim: the
+// split-cache attack that defeats checksumming does not help against
+// Parallax, because the verification chain *executes* its gadgets —
+// through the very fetch path the attack controls.
+func TestParallaxSurvivesWurster(t *testing.T) {
+	p := protectedTarget(t)
+	clean := Run(p.Image, nil)
+	if clean.Err != nil {
+		t.Fatal(clean.Err)
+	}
+
+	g := p.Chains["mix"].Gadgets()[0]
+	cpu, err := emu.LoadImage(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(nil)
+	// Overlay the gadget's first byte: data reads (a hypothetical
+	// checksummer) would still see the pristine byte, but the chain's
+	// ret transfers fetch straight into the overlay.
+	Wurster(cpu, g.Addr, []byte{0xCC})
+
+	// Data view untouched?
+	b, err := cpu.Mem.Read(g.Addr, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := p.Image.ReadAt(g.Addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != orig[0] {
+		t.Fatal("data view changed; overlay is misconfigured")
+	}
+
+	runErr := cpu.Run()
+	if runErr == nil && cpu.Status == clean.Status {
+		t.Fatal("Parallax-protected binary ran correctly under the Wurster attack")
+	}
+	t.Logf("Wurster-attacked run: status=%d err=%v (clean status=%d)",
+		cpu.Status, runErr, clean.Status)
+}
+
+// TestRuntimePatchDetected: a debugger-style runtime patch of a chain
+// gadget derails the program.
+func TestRuntimePatchDetected(t *testing.T) {
+	p := protectedTarget(t)
+	clean := Run(p.Image, nil)
+
+	g := p.Chains["mix"].Gadgets()[1]
+	cpu, err := emu.LoadImage(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(nil)
+	if err := RuntimePatch(cpu, g.Addr, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	runErr := cpu.Run()
+	if runErr == nil && cpu.Status == clean.Status {
+		t.Fatal("runtime patch went unnoticed")
+	}
+}
+
+// TestCodeRestoreWindow demonstrates the §VI-A analysis: a restore
+// attack succeeds only if the modification never overlaps a
+// verification run — repeated verification shrinks that window.
+func TestCodeRestoreWindow(t *testing.T) {
+	p := protectedTarget(t)
+	clean := Run(p.Image, nil)
+	mix := p.Image.MustSymbol("mix")
+	g := p.Chains["mix"].Gadgets()[0]
+
+	t.Run("patch during verification window is caught", func(t *testing.T) {
+		cpu, err := emu.LoadImage(p.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu.OS = emu.NewOS(nil)
+		// Stop right as the second chain call begins, patch, continue.
+		if _, err := RunUntil(cpu, mix.Addr, 2, 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRestorer(cpu, g.Addr, []byte{0xCC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = r // never restored: the chain runs over the patched gadget
+		runErr := cpu.Run()
+		if runErr == nil && cpu.Status == clean.Status {
+			t.Fatal("patch alive during a chain run went unnoticed")
+		}
+	})
+
+	t.Run("patch-and-restore between verifications slips through", func(t *testing.T) {
+		cpu, err := emu.LoadImage(p.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu.OS = emu.NewOS(nil)
+		if _, err := RunUntil(cpu, mix.Addr, 2, 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		// The adversary patches a *different* location than the chain's
+		// gadgets would notice... here: patch the gadget but restore
+		// before stepping further — zero instructions execute under the
+		// patch.
+		r, err := NewRestorer(cpu, g.Addr, []byte{0xCC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Restore(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if cpu.Status != clean.Status {
+			t.Fatalf("restored run diverged: %d vs %d", cpu.Status, clean.Status)
+		}
+	})
+}
+
+// TestForceJumpAndInvertCond exercise the patch helpers on a raw
+// binary.
+func TestForceJumpAndInvertCond(t *testing.T) {
+	p := protectedTarget(t)
+	// Find a conditional jump in main.
+	main := p.Image.MustSymbol("main")
+	raw, err := p.Image.ReadAt(main.Addr, main.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jccAddr uint32
+	for off := 0; off+6 < len(raw); off++ {
+		if raw[off] == 0x0F && raw[off+1] >= 0x80 && raw[off+1] <= 0x8F {
+			jccAddr = main.Addr + uint32(off)
+			break
+		}
+	}
+	if jccAddr == 0 {
+		t.Fatal("no conditional jump found in main")
+	}
+
+	forced := p.Image.Clone()
+	if err := ForceJump(forced, jccAddr); err != nil {
+		t.Fatal(err)
+	}
+	inverted := p.Image.Clone()
+	if err := InvertCond(inverted, jccAddr); err != nil {
+		t.Fatal(err)
+	}
+	clean := Run(p.Image, nil)
+	// Both patches change main's control flow; whatever happens, it
+	// must not be the clean outcome (main is not chain-protected here,
+	// so we only check the helpers actually modify behaviour).
+	if Run(forced, nil).Same(clean) && Run(inverted, nil).Same(clean) {
+		t.Error("neither patch changed program behaviour")
+	}
+}

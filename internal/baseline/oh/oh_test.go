@@ -1,0 +1,236 @@
+package oh
+
+import (
+	"testing"
+
+	"parallax/internal/attack"
+	"parallax/internal/emu"
+	"parallax/internal/image"
+	"parallax/internal/ir"
+)
+
+// deterministicModule: main calls score() on fixed data; score's state
+// is the same every run — the case OH is built for.
+func deterministicModule(t *testing.T) *ir.Module {
+	t.Helper()
+	mb := ir.NewModule("det")
+
+	fb := mb.Func("score", 1)
+	x := fb.Param(0)
+	acc := fb.Const(1)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim := fb.Const(6)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	k := fb.Const(17)
+	fb.Assign(acc, fb.Add(fb.Mul(acc, k), fb.Xor(x, i)))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(acc)
+
+	fb = mb.Func("main", 0)
+	v := fb.Call("score", fb.Const(5))
+	mask := fb.Const(0xFF)
+	fb.Ret(fb.And(v, mask))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// nondetModule: the protected function's state depends on ptrace — the
+// §VIII-C case OH cannot handle.
+func nondetModule(t *testing.T) *ir.Module {
+	t.Helper()
+	mb := ir.NewModule("nondet")
+	fb := mb.Func("antidebug", 0)
+	req := fb.Const(0)
+	r := fb.Syscall(26, req) // ptrace(TRACEME): 0 or -EPERM
+	zero := fb.Const(0)
+	bad := fb.Cmp(ir.Ne, r, zero)
+	fb.Br(bad, "debugged", "clean")
+	fb.Block("debugged")
+	fb.Ret(fb.Const(1))
+	fb.Block("clean")
+	fb.Ret(fb.Const(0))
+
+	fb = mb.Func("main", 0)
+	d := fb.Call("antidebug")
+	hundred := fb.Const(100)
+	fb.Ret(fb.Add(d, hundred))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestOHCleanAfterCalibration(t *testing.T) {
+	m := deterministicModule(t)
+	p, err := Protect(m, Options{Funcs: []string{"score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Calibrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attack.Run(p.Baseline, nil)
+	got := attack.Run(img, nil)
+	if got.Err != nil || got.Status != want.Status {
+		t.Fatalf("calibrated run: status=%d err=%v, want %d", got.Status, got.Err, want.Status)
+	}
+}
+
+func TestOHDetectsSemanticTamper(t *testing.T) {
+	m := deterministicModule(t)
+	p, err := Protect(m, Options{Funcs: []string{"score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Calibrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change a constant inside score: the computed state changes, so
+	// the oblivious hash diverges from the calibrated values.
+	sym := img.MustSymbol("score")
+	tampered := img.Clone()
+	patched := false
+	raw, err := tampered.ReadAt(sym.Addr, sym.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the mov dword [..], 17 and bump the immediate.
+	for off := 0; off+8 < len(raw); off++ {
+		if raw[off] == 0xC7 && raw[off+3] == 17 && raw[off+4] == 0 && raw[off+5] == 0 {
+			if err := attack.PatchBytes(tampered, sym.Addr+uint32(off+3), []byte{18}); err != nil {
+				t.Fatal(err)
+			}
+			patched = true
+			break
+		}
+	}
+	if !patched {
+		t.Fatal("could not locate the constant to tamper")
+	}
+	res := attack.Run(tampered, nil)
+	if res.Status != TamperStatus {
+		t.Fatalf("status = %d (err=%v), want tamper response %d", res.Status, res.Err, TamperStatus)
+	}
+}
+
+// TestOHImmuneToWurster: the split-cache attack is useless against OH —
+// the overlaid code executes, its computed values change, and the hash
+// check trips. (Contrast with the checksum baseline, which it defeats.)
+func TestOHImmuneToWurster(t *testing.T) {
+	m := deterministicModule(t)
+	p, err := Protect(m, Options{Funcs: []string{"score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Calibrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := img.MustSymbol("score")
+	raw, err := img.ReadAt(sym.Addr, sym.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlayAddr uint32
+	var overlay []byte
+	for off := 0; off+8 < len(raw); off++ {
+		if raw[off] == 0xC7 && raw[off+3] == 17 && raw[off+4] == 0 && raw[off+5] == 0 {
+			overlayAddr = sym.Addr + uint32(off+3)
+			overlay = []byte{18}
+			break
+		}
+	}
+	if overlay == nil {
+		t.Fatal("could not locate the constant to overlay")
+	}
+	cpu, err := emu.LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(nil)
+	attack.Wurster(cpu, overlayAddr, overlay)
+	if err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Status != TamperStatus {
+		t.Fatalf("status = %d, want OH to detect the overlaid execution (%d)",
+			cpu.Status, TamperStatus)
+	}
+}
+
+// TestOHFalseAlarmOnNondeterminism is §VIII-C: code whose state depends
+// on a syscall cannot be protected — an environment not seen during
+// calibration raises a false tamper alarm on an untampered binary.
+func TestOHFalseAlarmOnNondeterminism(t *testing.T) {
+	m := nondetModule(t)
+	p, err := Protect(m, Options{Funcs: []string{"antidebug"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate in a clean environment (no debugger).
+	img, err := Calibrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := attack.Run(img, nil)
+	if clean.Status != 100 {
+		t.Fatalf("clean run status = %d (err=%v), want 100", clean.Status, clean.Err)
+	}
+
+	// Same untampered binary, but now a debugger is attached: ptrace
+	// returns a different value, the hashed state differs, and OH cries
+	// tamper even though nothing was modified.
+	cpu, err := emu.LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = &emu.OS{DebuggerAttached: true}
+	if err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Status != TamperStatus {
+		t.Fatalf("status = %d, want false alarm %d — OH should be unable to "+
+			"handle the non-deterministic input", cpu.Status, TamperStatus)
+	}
+}
+
+// TestOHOverheadIsOnProtectedCode quantifies the paper's advantage 3:
+// OH slows down the protected function itself.
+func TestOHOverheadIsOnProtectedCode(t *testing.T) {
+	m := deterministicModule(t)
+	p, err := Protect(m, Options{Funcs: []string{"score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Calibrate(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cycles(t, p.Baseline)
+	inst := cycles(t, img)
+	if inst <= base {
+		t.Fatalf("instrumented cycles %d <= baseline %d; no interspersed cost?", inst, base)
+	}
+	t.Logf("OH whole-run cycles: baseline=%d instrumented=%d (%.2fx)",
+		base, inst, float64(inst)/float64(base))
+}
+
+func cycles(t *testing.T, img *image.Image) uint64 {
+	t.Helper()
+	cpu, err := emu.LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(nil)
+	if err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return cpu.Cycles
+}

@@ -1,0 +1,77 @@
+// Package ropguard implements a kBouncer/ROPGuard-style heuristic ROP
+// monitor (the paper's §VIII-B): a system-level detector that flags
+// bursts of return instructions whose targets are not call-preceded —
+// the signature of a ROP chain.
+//
+// The paper observes that such monitors "may conflict with our
+// tamperproofing algorithm, detecting its use of ROP code as if it
+// were malicious", and that simple chain modifications (long gadgets,
+// NOP-gadgets, call-preceded gadgets) circumvent them. This package
+// reproduces the conflict measurably: Parallax verification chains
+// light the detector up, ordinary execution does not.
+package ropguard
+
+import (
+	"parallax/internal/emu"
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// DefaultThreshold is the consecutive-suspicious-return count that
+// raises a flag (kBouncer used chains of 8 short gadgets).
+const DefaultThreshold = 8
+
+// Monitor is an attached heuristic ROP detector.
+type Monitor struct {
+	// Threshold is the consecutive suspicious-return limit.
+	Threshold int
+
+	// Flags counts threshold crossings; Flagged is true once any
+	// occurred.
+	Flags   int
+	Flagged bool
+	// MaxRun is the longest suspicious-return run observed.
+	MaxRun int
+
+	callPreceded map[uint32]bool
+	consecutive  int
+}
+
+// Attach scans the image for legitimate return targets (addresses
+// directly after call instructions) and hooks the CPU's return path.
+func Attach(cpu *emu.CPU, img *image.Image) *Monitor {
+	m := &Monitor{
+		Threshold:    DefaultThreshold,
+		callPreceded: make(map[uint32]bool),
+	}
+	text := img.Text()
+	addr := text.Addr
+	for int(addr-text.Addr) < len(text.Data) {
+		inst, err := x86.Decode(text.Data[addr-text.Addr:], addr)
+		if err != nil {
+			addr++
+			continue
+		}
+		if inst.Op == x86.CALL {
+			m.callPreceded[addr+uint32(inst.Len)] = true
+		}
+		addr += uint32(inst.Len)
+	}
+	cpu.RetHook = m.onRet
+	return m
+}
+
+func (m *Monitor) onRet(_, to uint32) {
+	if to == emu.ExitSentinel || m.callPreceded[to] {
+		m.consecutive = 0
+		return
+	}
+	m.consecutive++
+	if m.consecutive > m.MaxRun {
+		m.MaxRun = m.consecutive
+	}
+	if m.consecutive == m.Threshold {
+		m.Flagged = true
+		m.Flags++
+	}
+}

@@ -1,0 +1,79 @@
+package ropguard
+
+import (
+	"testing"
+
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/emu"
+)
+
+// TestChainsTriggerHeuristicMonitor reproduces §VIII-B: a
+// kBouncer-style monitor stays quiet on ordinary execution but flags
+// the Parallax verification chains as ROP — the documented conflict
+// between heuristic CFI tools and ROP-based tamperproofing.
+func TestChainsTriggerHeuristicMonitor(t *testing.T) {
+	p, err := corpus.ByName("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.Protect(p.Build(), core.Options{VerifyFuncs: []string{p.VerifyFunc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unprotected binary: every return goes to a call-preceded
+	// address; the monitor must stay silent.
+	cpu, err := emu.LoadImage(prot.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(p.Stdin)
+	mon := Attach(cpu, prot.Baseline)
+	if err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Flagged {
+		t.Fatalf("monitor flagged ordinary execution (max run %d)", mon.MaxRun)
+	}
+	t.Logf("baseline: max suspicious run %d (threshold %d)", mon.MaxRun, mon.Threshold)
+
+	// Protected binary: the chain is a storm of returns to
+	// non-call-preceded gadget addresses.
+	cpu2, err := emu.LoadImage(prot.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu2.OS = emu.NewOS(p.Stdin)
+	mon2 := Attach(cpu2, prot.Image)
+	if err := cpu2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !mon2.Flagged {
+		t.Fatalf("monitor did not flag the verification chains (max run %d)", mon2.MaxRun)
+	}
+	t.Logf("protected: %d flags, max suspicious run %d — the §VIII-B conflict",
+		mon2.Flags, mon2.MaxRun)
+}
+
+// TestMonitorThreshold checks runs below the threshold stay unflagged.
+func TestMonitorThreshold(t *testing.T) {
+	m := &Monitor{Threshold: 4, callPreceded: map[uint32]bool{0x100: true}}
+	for i := 0; i < 3; i++ {
+		m.onRet(0, 0x999) // suspicious
+	}
+	if m.Flagged {
+		t.Error("flagged below threshold")
+	}
+	m.onRet(0, 0x100) // legitimate return resets the run
+	for i := 0; i < 3; i++ {
+		m.onRet(0, 0x999)
+	}
+	if m.Flagged {
+		t.Error("reset did not clear the run")
+	}
+	m.onRet(0, 0x999)
+	if !m.Flagged || m.Flags != 1 {
+		t.Errorf("threshold crossing not flagged: %+v", m)
+	}
+}

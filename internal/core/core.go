@@ -1,0 +1,471 @@
+// Package core implements the Parallax protection engine: it turns an
+// IR program into a protected binary whose selected functions run as
+// ROP chains over gadgets scattered through (and overlapped with) the
+// binary's code, implicitly verifying its integrity (§III).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parallax/internal/chain"
+	"parallax/internal/codegen"
+	"parallax/internal/dyngen"
+	"parallax/internal/gadget"
+	"parallax/internal/image"
+	"parallax/internal/ir"
+	"parallax/internal/rewrite"
+	"parallax/internal/ropc"
+)
+
+// Options configures Protect.
+type Options struct {
+	// VerifyFuncs names the functions to translate into verification
+	// chains. Empty plus AutoSelect=false is an error; use AutoSelect
+	// for the §VII-B algorithm.
+	VerifyFuncs []string
+	// AutoSelect runs the paper's selection algorithm (call-graph +
+	// profile + op diversity) to choose one verification function.
+	// Requires Workload to drive the profile run.
+	AutoSelect bool
+	// Workload drives profiling for AutoSelect (stdin given to the
+	// program). May be nil.
+	Workload []byte
+
+	// PoolCopies replicates the fallback gadget pool; values below 1
+	// mean 2 (two copies give probabilistic generation room to vary).
+	PoolCopies int
+
+	// ProtectFuncs names functions whose instructions the rewriting
+	// rules should overlap with gadgets. Empty means every function.
+	ProtectFuncs []string
+	// DisableRewriting skips the §IV-B rewriting rules (gadgets then
+	// come only from existing code and the fallback pool).
+	DisableRewriting bool
+
+	// ChainMode selects static or dynamically generated chains (§V-B).
+	ChainMode dyngen.Mode
+	// MuChains compiles instruction-level verification (§V-C) instead
+	// of function chains — for the ablation experiment.
+	MuChains bool
+	// ChecksumChains guards each chain with a data-memory checksum run
+	// before every pivot (§VI-C). Static chains only: dynamic chains
+	// change between runs by design.
+	ChecksumChains bool
+	// ProbVariants is the §V-B index-array count N for ModeProb;
+	// values below 2 mean 4.
+	ProbVariants int
+	// Seed drives key and basis derivation for dynamic modes.
+	Seed uint32
+
+	// Layout overrides the link layout.
+	Layout image.Layout
+}
+
+// Protected is the result of a Protect run.
+type Protected struct {
+	// Image is the protected binary.
+	Image *image.Image
+	// Baseline is the unprotected binary built from the same module
+	// with the same layout, for differential evaluation.
+	Baseline *image.Image
+	// Chains maps verification function names to their compiled
+	// chains.
+	Chains map[string]*ropc.Chain
+	// Catalog is the gadget inventory of the protected image.
+	Catalog *gadget.Catalog
+	// VerifyFuncs lists the chain-translated functions.
+	VerifyFuncs []string
+	// Module is the source IR.
+	Module *ir.Module
+	// RewriteSites counts instructions split by the §IV-B2 rule.
+	RewriteSites int
+	// Mode is the chain generation mode used.
+	Mode dyngen.Mode
+	// Tables holds per-function dynamic-generation data (nil entries
+	// for static chains).
+	Tables map[string]*dyngen.Tables
+	// OverlapGadgets counts chain gadget slots satisfied by gadgets
+	// overlapping protected code (vs the fallback pool).
+	OverlapGadgets int
+	// TotalGadgetSlots counts all gadget words across chains.
+	TotalGadgetSlots int
+}
+
+// Protect builds and protects a module.
+func Protect(m *ir.Module, opts Options) (*Protected, error) {
+	if err := ir.Validate(m); err != nil {
+		return nil, err
+	}
+	if opts.PoolCopies < 1 {
+		opts.PoolCopies = 2
+	}
+
+	verify := append([]string(nil), opts.VerifyFuncs...)
+	if opts.AutoSelect {
+		sel, err := SelectVerificationFunc(m, opts.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("core: auto-select: %w", err)
+		}
+		verify = append(verify, sel)
+	}
+	if len(verify) == 0 {
+		return nil, fmt.Errorf("core: no verification functions given or selected")
+	}
+	sort.Strings(verify)
+	verify = dedup(verify)
+
+	for _, fn := range verify {
+		f := m.Func(fn)
+		if f == nil {
+			return nil, fmt.Errorf("core: verification function %q not in module", fn)
+		}
+		if m.Entry == fn || (m.Entry == "" && m.Funcs[0].Name == fn) {
+			return nil, fmt.Errorf("core: entry function %q cannot be a verification function", fn)
+		}
+		if !ropc.Chainable(f) {
+			return nil, fmt.Errorf("core: %q makes calls or syscalls and cannot be a verification function", fn)
+		}
+	}
+
+	// Baseline build for differential evaluation.
+	baseline, err := codegen.Build(m, opts.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline build: %w", err)
+	}
+
+	if opts.ChecksumChains && opts.ChainMode != dyngen.ModeStatic {
+		return nil, fmt.Errorf("core: chain checksumming requires static chains")
+	}
+
+	// Dynamic modes and chain checksumming inject stubs into a working
+	// copy of the module; the caller's module and the baseline stay
+	// clean.
+	work := m
+	if opts.ChainMode != dyngen.ModeStatic || opts.ChecksumChains {
+		work = m.Clone()
+	}
+	cfgs := make(map[string]dyngen.Config, len(verify))
+	for _, fn := range verify {
+		cfg := dyngen.Config{
+			Fn: fn, Mode: opts.ChainMode, N: opts.ProbVariants, Seed: opts.Seed,
+		}
+		if opts.ChainMode != dyngen.ModeStatic {
+			if err := dyngen.Inject(work, cfg); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		if opts.ChecksumChains {
+			if err := dyngen.InjectChecker(work, fn); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		cfgs[fn] = cfg
+	}
+
+	// Frame sizes are layout-independent.
+	frameWords := make(map[string]int, len(verify))
+	for _, fn := range verify {
+		n, err := ropc.FrameWords(work.Func(fn))
+		if err != nil {
+			return nil, err
+		}
+		frameWords[fn] = n
+	}
+
+	// Iterate link → scan → compile to a fixpoint. Chain sizes feed
+	// back into the data layout, which feeds back into address
+	// immediates in the text, which can shift the gadget inventory and
+	// therefore chain sizes again. In practice this converges after
+	// two passes; the cap guards pathological oscillation.
+	chainLens := make(map[string]int, len(verify))
+	exitIdxs := make(map[string]int, len(verify))
+	offsLens := make(map[string]int, len(verify))
+	idxLens := make(map[string]int, len(verify))
+	var (
+		img     *image.Image
+		catalog *gadget.Catalog
+		chains  map[string]*ropc.Chain
+		tables  map[string]*dyngen.Tables
+	)
+	const maxPasses = 10
+	stable := false
+	rewriteSites := 0
+	for pass := 0; pass < maxPasses && !stable; pass++ {
+		var err error
+		img, rewriteSites, err = buildProtectedObject(work, verify, frameWords, opts, cfgs,
+			chainLens, exitIdxs, offsLens, idxLens)
+		if err != nil {
+			return nil, err
+		}
+		catalog = gadget.Scan(img, gadget.ScanConfig{})
+		env := &ropc.Env{
+			Catalog:    catalog,
+			GlobalAddr: symResolver(img),
+			Prefer:     preferOverlap(img, verify),
+		}
+		stable = true
+		chains = make(map[string]*ropc.Chain, len(verify))
+		tables = make(map[string]*dyngen.Tables, len(verify))
+		for _, fn := range verify {
+			frame := img.MustSymbol(chain.FrameSym(fn))
+			ch, err := ropc.CompileWith(work.Func(fn), env, frame.Addr,
+				ropc.Options{Mu: opts.MuChains})
+			if err != nil {
+				return nil, fmt.Errorf("core: chain for %s: %w", fn, err)
+			}
+			tb, err := dyngen.BuildTables(cfgs[fn], ch, env)
+			if err != nil {
+				return nil, fmt.Errorf("core: tables for %s: %w", fn, err)
+			}
+			if ch.ByteLen() != chainLens[fn] || ch.ExitPtrIndex != exitIdxs[fn] ||
+				len(tb.Offs) != offsLens[fn] || len(tb.Idx) != idxLens[fn] {
+				stable = false
+				chainLens[fn] = ch.ByteLen()
+				exitIdxs[fn] = ch.ExitPtrIndex
+				offsLens[fn] = len(tb.Offs)
+				idxLens[fn] = len(tb.Idx)
+			}
+			chains[fn] = ch
+			tables[fn] = tb
+		}
+	}
+	if !stable {
+		return nil, fmt.Errorf("core: protection layout did not converge after %d passes", maxPasses)
+	}
+
+	for _, fn := range verify {
+		if err := dyngen.Install(img, cfgs[fn], chains[fn], tables[fn]); err != nil {
+			return nil, fmt.Errorf("core: installing chain for %s: %w", fn, err)
+		}
+		if opts.ChecksumChains {
+			if err := dyngen.InstallChecker(img, fn, chains[fn]); err != nil {
+				return nil, fmt.Errorf("core: installing chain checksum for %s: %w", fn, err)
+			}
+		}
+	}
+
+	p := &Protected{
+		Image:        img,
+		Baseline:     baseline,
+		Chains:       chains,
+		Catalog:      catalog,
+		VerifyFuncs:  verify,
+		Module:       m,
+		RewriteSites: rewriteSites,
+		Mode:         opts.ChainMode,
+		Tables:       tables,
+	}
+	isOverlap := preferOverlap(img, verify)
+	for _, ch := range chains {
+		for _, w := range ch.Words {
+			if w.Kind != ropc.WGadget {
+				continue
+			}
+			p.TotalGadgetSlots++
+			if isOverlap(w.Gadget) {
+				p.OverlapGadgets++
+			}
+		}
+	}
+	return p, nil
+}
+
+// preferOverlap marks gadgets inside application code (anything except
+// the fallback pool and loader stubs) — the gadgets whose integrity
+// actually protects the program.
+func preferOverlap(img *image.Image, verify []string) func(*gadget.Gadget) bool {
+	type span struct{ lo, hi uint32 }
+	verifySet := make(map[string]bool, len(verify))
+	for _, v := range verify {
+		verifySet[v] = true
+	}
+	var spans []span
+	for _, s := range img.Funcs() {
+		if len(s.Name) >= 2 && s.Name[:2] == ".." {
+			continue // pool and internal stubs
+		}
+		if verifySet[s.Name] {
+			continue // loader stub, not application code
+		}
+		spans = append(spans, span{s.Addr, s.Addr + s.Size})
+	}
+	return func(g *gadget.Gadget) bool {
+		for _, sp := range spans {
+			if g.Addr >= sp.lo && g.Addr < sp.hi {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// buildProtectedObject compiles the module, swaps verification
+// functions for loader stubs, adds the gadget pool and chain/frame
+// data, and links.
+func buildProtectedObject(m *ir.Module, verify []string, frameWords map[string]int,
+	opts Options, cfgs map[string]dyngen.Config,
+	chainLens, exitIdxs, offsLens, idxLens map[string]int) (*image.Image, int, error) {
+
+	obj, err := codegen.Compile(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	rewriteSites := 0
+	if !opts.DisableRewriting {
+		// §IV-B2: split immediates in protected functions so gadgets
+		// overlap their instructions. Verification functions are
+		// excluded — their bodies become loader stubs.
+		targets := opts.ProtectFuncs
+		if len(targets) == 0 {
+			verifySet := make(map[string]bool, len(verify))
+			for _, v := range verify {
+				verifySet[v] = true
+			}
+			for _, f := range m.Funcs {
+				if !verifySet[f.Name] {
+					targets = append(targets, f.Name)
+				}
+			}
+		}
+		res, err := rewrite.SplitImmediates(obj, targets)
+		if err == nil {
+			rewriteSites = res.Sites
+		} else if res == nil || res.Sites != 0 {
+			return nil, 0, err
+		}
+	}
+	if err := chain.AddPool(obj, opts.PoolCopies); err != nil {
+		return nil, 0, err
+	}
+	for _, fn := range verify {
+		f := m.Func(fn)
+		cfg := cfgs[fn]
+		decoder := ""
+		if cfg.Mode != dyngen.ModeStatic {
+			decoder = cfg.DecoderName()
+		}
+		checker := ""
+		if opts.ChecksumChains {
+			checker = dyngen.CheckerName(fn)
+		}
+		loader, err := chain.Loader(chain.LoaderConfig{
+			FuncName:     fn,
+			NumParams:    f.NumParams,
+			FrameWords:   frameWords[fn],
+			ExitPtrIndex: exitIdxs[fn], // 0 in pass 1
+			Decoder:      decoder,
+			Checker:      checker,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		replaceFunc(obj, loader)
+		size := chainLens[fn]
+		if size == 0 {
+			size = 4 // pass-1 placeholder
+		}
+		if err := chain.ReserveData(obj, fn, size, frameWords[fn]); err != nil {
+			return nil, 0, err
+		}
+		if err := dyngen.Reserve(obj, cfg, size, offsLens[fn], idxLens[fn]); err != nil {
+			return nil, 0, err
+		}
+	}
+	img, err := image.Link(obj, opts.Layout)
+	if err != nil {
+		return nil, 0, err
+	}
+	return img, rewriteSites, nil
+}
+
+func replaceFunc(obj *image.Object, nf *image.Func) {
+	for i, f := range obj.Funcs {
+		if f.Name == nf.Name {
+			obj.Funcs[i] = nf
+			return
+		}
+	}
+	obj.Funcs = append(obj.Funcs, nf)
+}
+
+func symResolver(img *image.Image) func(string) (uint32, bool) {
+	return func(name string) (uint32, bool) {
+		s, ok := img.Symbol(name)
+		return s.Addr, ok
+	}
+}
+
+func dedup(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ProtectedByteStats reports how much of the application's code the
+// installed verification chains actually guard: bytes inside gadgets
+// the chains execute, measured over application functions (pool and
+// loader stubs excluded).
+type ProtectedByteStats struct {
+	// AppBytes is the application-code byte count.
+	AppBytes int
+	// GuardedBytes counts app-code bytes overlapped by chain-used
+	// gadgets: modifying any of them derails a chain.
+	GuardedBytes int
+	// GuardedFuncs counts application functions containing at least
+	// one chain-used gadget.
+	GuardedFuncs int
+	// TotalFuncs counts application functions.
+	TotalFuncs int
+}
+
+// Percent returns guarded bytes as a percentage of application code.
+func (s ProtectedByteStats) Percent() float64 {
+	if s.AppBytes == 0 {
+		return 0
+	}
+	return 100 * float64(s.GuardedBytes) / float64(s.AppBytes)
+}
+
+// ProtectedBytes computes the coverage statistics of this protection.
+func (p *Protected) ProtectedBytes() ProtectedByteStats {
+	verifySet := make(map[string]bool, len(p.VerifyFuncs))
+	for _, v := range p.VerifyFuncs {
+		verifySet[v] = true
+	}
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	var stats ProtectedByteStats
+	for _, s := range p.Image.Funcs() {
+		if len(s.Name) >= 2 && s.Name[:2] == ".." || verifySet[s.Name] {
+			continue
+		}
+		spans = append(spans, span{s.Addr, s.Addr + s.Size})
+		stats.AppBytes += int(s.Size)
+		stats.TotalFuncs++
+	}
+	guardedFuncs := make(map[int]bool)
+	counted := make(map[uint32]bool)
+	for _, ch := range p.Chains {
+		for _, g := range ch.Gadgets() {
+			lo, hi := g.Range()
+			for a := lo; a < hi; a++ {
+				for i, sp := range spans {
+					if a >= sp.lo && a < sp.hi {
+						if !counted[a] {
+							counted[a] = true
+							stats.GuardedBytes++
+						}
+						guardedFuncs[i] = true
+					}
+				}
+			}
+		}
+	}
+	stats.GuardedFuncs = len(guardedFuncs)
+	return stats
+}

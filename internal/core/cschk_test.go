@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"parallax/internal/chain"
+	"parallax/internal/dyngen"
+	"parallax/internal/emu"
+)
+
+// TestChecksumChains exercises §VI-C: static chains guarded by a
+// data-memory checksum. Clean runs pass; modifying chain words in data
+// trips the explicit tamper response; and — the point of doing it this
+// way — the Wurster split-cache trick cannot hide the chain
+// modification, because both the chain consumer (stack pops) and the
+// checksummer read the words through the data path.
+func TestChecksumChains(t *testing.T) {
+	m := buildMixModule(t)
+	p, err := Protect(m, Options{
+		VerifyFuncs:    []string{"mix"},
+		ChecksumChains: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runImg(t, p.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runImg(t, p.Image)
+	if err != nil {
+		t.Fatalf("checksummed protected run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("status %d != baseline %d", got, want)
+	}
+
+	// Attack the verification code itself (§VI-C's threat): flip a
+	// chain word in the data section.
+	sym := p.Image.MustSymbol(chain.ChainSym("mix"))
+	tampered := p.Image.Clone()
+	raw, err := tampered.ReadAt(sym.Addr+8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tampered.WriteAt(sym.Addr+8, []byte{raw[0] ^ 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := emu.LoadImage(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.OS = emu.NewOS(nil)
+	cpu.MaxInst = 50_000_000
+	_ = cpu.Run() // the checker exits explicitly; faults also count
+	if cpu.Status != dyngen.ChecksumTamperStatus {
+		t.Fatalf("status = %d, want checksum tamper response %d",
+			cpu.Status, dyngen.ChecksumTamperStatus)
+	}
+}
+
+func TestChecksumChainsRejectsDynamic(t *testing.T) {
+	m := buildMixModule(t)
+	_, err := Protect(m, Options{
+		VerifyFuncs:    []string{"mix"},
+		ChecksumChains: true,
+		ChainMode:      dyngen.ModeXor,
+	})
+	if err == nil {
+		t.Error("Protect accepted checksumming of dynamic chains")
+	}
+}

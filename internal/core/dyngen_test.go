@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"parallax/internal/chain"
+	"parallax/internal/dyngen"
+	"parallax/internal/emu"
+	"parallax/internal/x86"
+)
+
+// TestDynamicModesEndToEnd runs the mix module protected under each
+// dynamic generation mode and checks behaviour matches the baseline,
+// and that tampering is still detected.
+func TestDynamicModesEndToEnd(t *testing.T) {
+	m := buildMixModule(t)
+	base, err := Protect(m, Options{VerifyFuncs: []string{"mix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runImg(t, base.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []dyngen.Mode{dyngen.ModeXor, dyngen.ModeRC4, dyngen.ModeProb} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, err := Protect(m, Options{
+				VerifyFuncs: []string{"mix"},
+				ChainMode:   mode,
+				Seed:        0xC0FFEE,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := runImg(t, p.Image)
+			if err != nil {
+				t.Fatalf("protected run: %v", err)
+			}
+			if got != want {
+				t.Fatalf("status = %d, want %d", got, want)
+			}
+
+			// The chain buffer must start zeroed (materialized only at
+			// run time): a static analyst diffing the binary sees no
+			// chain words.
+			sym := p.Image.MustSymbol(chain.ChainSym("mix"))
+			raw, err := p.Image.ReadAt(sym.Addr, sym.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range raw {
+				if b != 0 {
+					t.Fatal("chain buffer not zero in the binary image")
+				}
+			}
+
+			// Tampering with a chain gadget must still derail the
+			// program: dynamic generation decodes the same gadget
+			// addresses.
+			g := p.Chains["mix"].Gadgets()[0]
+			tampered := p.Image.Clone()
+			if err := tampered.WriteAt(g.Addr, []byte{0xCC}); err != nil {
+				t.Fatal(err)
+			}
+			st, err := runImg(t, tampered)
+			if err == nil && st == want {
+				t.Error("tampered gadget went unnoticed under dynamic generation")
+			}
+		})
+	}
+}
+
+// TestProbVariantsActuallyVary checks the §V-B property: across calls,
+// the probabilistic decoder materializes different (but equivalent)
+// gadget words.
+func TestProbVariantsActuallyVary(t *testing.T) {
+	m := buildMixModule(t)
+	p, err := Protect(m, Options{
+		VerifyFuncs:  []string{"mix"},
+		ChainMode:    dyngen.ModeProb,
+		ProbVariants: 4,
+		Seed:         0xBEEF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Words with more than one compatible gadget exist (the pool is
+	// replicated and split immediates add more).
+	multi := 0
+	for _, n := range p.Tables["mix"].VariantsPerWord {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no chain word has gadget alternatives; probabilistic mode is vacuous")
+	}
+
+	// Run the program and snapshot the materialized chain buffer after
+	// exit; different time seeds must lead to different materialized
+	// words (while behaving identically).
+	snapshot := func(now int32) []byte {
+		cpu, err := emu.LoadImage(p.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os := emu.NewOS(nil)
+		os.Now = now
+		cpu.OS = os
+		if err := cpu.Run(); err != nil {
+			t.Fatalf("run with now=%d: %v", now, err)
+		}
+		sym := p.Image.MustSymbol(chain.ChainSym("mix"))
+		raw, err := cpu.Mem.Peek(sym.Addr, sym.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	a := snapshot(1_000_000)
+	b := snapshot(2_000_000)
+	if string(a) == string(b) {
+		t.Error("chain words identical across different RNG seeds; variants unused")
+	}
+
+	// And the materialized words must still be valid chain content: the
+	// runs completed with the correct status (checked inside snapshot by
+	// absence of faults) — additionally check word-level: every gadget
+	// word decodes to a usable gadget address in the text.
+	text := p.Image.Text()
+	valid := 0
+	for i := 0; i+4 <= len(a); i += 4 {
+		v := uint32(a[i]) | uint32(a[i+1])<<8 | uint32(a[i+2])<<16 | uint32(a[i+3])<<24
+		if v >= text.Addr && v < text.End() {
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Error("no materialized word points into text; chain cannot be real")
+	}
+}
+
+// TestDynamicDecodersAreNativeCode sanity-checks that decoders are
+// ordinary protectable functions in the image.
+func TestDynamicDecodersAreNativeCode(t *testing.T) {
+	m := buildMixModule(t)
+	p, err := Protect(m, Options{
+		VerifyFuncs: []string{"mix"},
+		ChainMode:   dyngen.ModeRC4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := p.Image.Symbol("..parallax.dec.mix")
+	if !ok {
+		t.Fatal("decoder symbol missing")
+	}
+	if sym.Size < 50 {
+		t.Errorf("decoder suspiciously small: %d bytes", sym.Size)
+	}
+	// It must decode as clean x86 from the start.
+	raw, err := p.Image.ReadAt(sym.Addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x86.Decode(raw, sym.Addr); err != nil {
+		t.Errorf("decoder start does not decode: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"parallax/internal/ir"
+)
+
+// buildTwoHelpers returns a module with two chainable helpers.
+func buildTwoHelpers(t *testing.T) *ir.Module {
+	t.Helper()
+	mb := ir.NewModule("two")
+
+	mkHelper := func(name string, k int32) {
+		fb := mb.Func(name, 1)
+		x := fb.Param(0)
+		acc := fb.Copy(x)
+		i := fb.Const(0)
+		fb.Jmp("head")
+		fb.Block("head")
+		lim := fb.Const(8)
+		c := fb.Cmp(ir.ULt, i, lim)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		kv := fb.Const(k)
+		fb.Assign(acc, fb.Add(fb.Mul(acc, kv), i))
+		one := fb.Const(1)
+		fb.Assign(i, fb.Add(i, one))
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(acc)
+	}
+	mkHelper("alpha", 13)
+	mkHelper("beta", 29)
+
+	fb := mb.Func("main", 0)
+	a := fb.Call("alpha", fb.Const(2))
+	b := fb.Call("beta", a)
+	c := fb.Call("alpha", b)
+	mask := fb.Const(0x7F)
+	fb.Ret(fb.And(fb.Add(b, c), mask))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestProtectMultipleChains translates two functions at once — the
+// paper's "one or more code fragments ... one or more ROP chains".
+func TestProtectMultipleChains(t *testing.T) {
+	m := buildTwoHelpers(t)
+	p, err := Protect(m, Options{VerifyFuncs: []string{"alpha", "beta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chains) != 2 {
+		t.Fatalf("%d chains, want 2", len(p.Chains))
+	}
+	want, err := runImg(t, p.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runImg(t, p.Image)
+	if err != nil {
+		t.Fatalf("protected: %v", err)
+	}
+	if got != want {
+		t.Fatalf("status %d != %d", got, want)
+	}
+
+	// Tampering a gadget used by either chain must derail the program.
+	for _, fn := range p.VerifyFuncs {
+		g := p.Chains[fn].Gadgets()[0]
+		tampered := p.Image.Clone()
+		if err := tampered.WriteAt(g.Addr, []byte{0xCC}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := runImg(t, tampered)
+		if err == nil && st == want {
+			t.Errorf("tampering %s's gadget went unnoticed", fn)
+		}
+	}
+}
+
+// TestOverlapAblation measures the design choice DESIGN.md calls out:
+// with rewriting on, chains draw most gadget slots from application
+// code (overlapping = protective); with rewriting off, they fall back
+// to the pool (non-protective).
+func TestOverlapAblation(t *testing.T) {
+	m := buildTwoHelpers(t)
+
+	with, err := Protect(m, Options{VerifyFuncs: []string{"alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Protect(m, Options{
+		VerifyFuncs:      []string{"alpha"},
+		DisableRewriting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracWith := float64(with.OverlapGadgets) / float64(with.TotalGadgetSlots)
+	fracWithout := float64(without.OverlapGadgets) / float64(without.TotalGadgetSlots)
+	t.Logf("overlap slots: rewriting=%.0f%%, disabled=%.0f%% (sites=%d)",
+		100*fracWith, 100*fracWithout, with.RewriteSites)
+	if with.RewriteSites == 0 {
+		t.Error("rewriting applied no splits")
+	}
+	if fracWith <= fracWithout {
+		t.Errorf("rewriting did not raise overlap fraction: %.2f vs %.2f",
+			fracWith, fracWithout)
+	}
+	if fracWith < 0.5 {
+		t.Errorf("only %.0f%% of chain slots use overlapping gadgets", 100*fracWith)
+	}
+
+	// Both variants still behave correctly.
+	for _, p := range []*Protected{with, without} {
+		want, err := runImg(t, p.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := runImg(t, p.Image); err != nil || got != want {
+			t.Fatalf("status=%d err=%v want=%d", got, err, want)
+		}
+	}
+}
+
+// TestMuChainsEndToEnd runs a full µ-chain protection (§V-C) through
+// the emulator.
+func TestMuChainsEndToEnd(t *testing.T) {
+	m := buildTwoHelpers(t)
+	p, err := Protect(m, Options{VerifyFuncs: []string{"alpha"}, MuChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runImg(t, p.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runImg(t, p.Image)
+	if err != nil || got != want {
+		t.Fatalf("µ-chain run: status=%d err=%v want=%d", got, err, want)
+	}
+	// The µ-chain must be materially longer than a function chain.
+	plain, err := Protect(m, Options{VerifyFuncs: []string{"alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chains["alpha"].Words) <= len(plain.Chains["alpha"].Words) {
+		t.Error("µ-chain not longer than function chain")
+	}
+}
+
+// TestProtectDeterministicOutput: identical inputs yield bit-identical
+// protected binaries — figure regeneration and the fixpoint pipeline
+// depend on it.
+func TestProtectDeterministicOutput(t *testing.T) {
+	m := buildTwoHelpers(t)
+	opts := Options{VerifyFuncs: []string{"alpha", "beta"}, Seed: 7}
+	a, err := Protect(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Protect(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Image.Sections) != len(b.Image.Sections) {
+		t.Fatal("section structure differs")
+	}
+	for i, s := range a.Image.Sections {
+		o := b.Image.Sections[i]
+		if s.Name != o.Name || s.Addr != o.Addr || len(s.Data) != len(o.Data) {
+			t.Fatalf("section %s layout differs", s.Name)
+		}
+		for j := range s.Data {
+			if s.Data[j] != o.Data[j] {
+				t.Fatalf("section %s differs at offset %#x", s.Name, j)
+			}
+		}
+	}
+}
+
+// TestProtectedBytesStats checks the guarded-byte accounting: with
+// rewriting on, chains guard real application bytes in every function.
+func TestProtectedBytesStats(t *testing.T) {
+	m := buildTwoHelpers(t)
+	p, err := Protect(m, Options{VerifyFuncs: []string{"alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.ProtectedBytes()
+	t.Logf("guarded: %d/%d bytes (%.1f%%) across %d/%d functions",
+		s.GuardedBytes, s.AppBytes, s.Percent(), s.GuardedFuncs, s.TotalFuncs)
+	if s.GuardedBytes == 0 || s.AppBytes == 0 {
+		t.Fatal("no guarded bytes measured")
+	}
+	if s.GuardedFuncs == 0 {
+		t.Fatal("no guarded functions")
+	}
+	// Without rewriting the chains fall back to the pool: little to no
+	// app coverage.
+	q, err := Protect(m, Options{VerifyFuncs: []string{"alpha"}, DisableRewriting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ProtectedBytes().GuardedBytes >= s.GuardedBytes {
+		t.Errorf("pool-only protection guards %d bytes >= rewritten %d",
+			q.ProtectedBytes().GuardedBytes, s.GuardedBytes)
+	}
+}

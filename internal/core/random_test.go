@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"parallax/internal/ir"
+)
+
+// randChainableModule generates a random module: a chainable helper
+// with arbitrary arithmetic, comparisons, memory traffic and a bounded
+// loop, plus a main that exercises it.
+func randChainableModule(r *rand.Rand) *ir.Module {
+	mb := ir.NewModule("rand")
+	mb.GlobalZero("mem", 256)
+
+	fb := mb.Func("helper", 2)
+	vals := []ir.Value{fb.Param(0), fb.Param(1), fb.Const(int32(r.Uint32()))}
+	pick := func() ir.Value { return vals[r.Intn(len(vals))] }
+	bins := []ir.BinKind{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Sar}
+	preds := []ir.Pred{ir.Eq, ir.Ne, ir.Lt, ir.Ge, ir.ULt, ir.UGe}
+
+	for k := 0; k < 4+r.Intn(8); k++ {
+		switch r.Intn(5) {
+		case 0, 1:
+			vals = append(vals, fb.Bin(bins[r.Intn(len(bins))], pick(), pick()))
+		case 2:
+			vals = append(vals, fb.Cmp(preds[r.Intn(len(preds))], pick(), pick()))
+		case 3:
+			mask := fb.Const(0xFC)
+			addr := fb.Add(fb.Addr("mem", 0), fb.And(pick(), mask))
+			fb.Store(addr, pick())
+			vals = append(vals, fb.Load(addr))
+		case 4:
+			vals = append(vals, fb.Not(pick()))
+		}
+	}
+	// A bounded loop folding the pool.
+	acc := fb.Copy(pick())
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	lim := fb.Const(int32(1 + r.Intn(6)))
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	fb.Assign(acc, fb.Xor(fb.Add(acc, pick()), i))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	// A final diamond.
+	zero := fb.Const(0)
+	pos := fb.Cmp(ir.Ge, acc, zero)
+	fb.Br(pos, "p", "n")
+	fb.Block("p")
+	fb.Ret(acc)
+	fb.Block("n")
+	fb.Ret(fb.Neg(acc))
+
+	fb = mb.Func("main", 0)
+	a := fb.Call("helper", fb.Const(int32(r.Uint32())), fb.Const(int32(r.Uint32())))
+	b := fb.Call("helper", a, fb.Const(int32(r.Uint32())))
+	mask := fb.Const(0x7FFF)
+	fb.Ret(fb.And(fb.Add(a, b), mask))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestProtectRandomDifferential pushes random programs through the
+// whole pipeline — codegen, rewriting, linking, gadget scan, chain
+// compilation, loader splicing — and requires protected behaviour to
+// match the baseline exactly.
+func TestProtectRandomDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := randChainableModule(r)
+		p, err := Protect(m, Options{VerifyFuncs: []string{"helper"}})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := runImg(t, p.Baseline)
+		if err != nil {
+			t.Fatalf("trial %d baseline: %v", trial, err)
+		}
+		got, err := runImg(t, p.Image)
+		if err != nil {
+			t.Fatalf("trial %d protected: %v\nchain:\n%s", trial, err, p.Chains["helper"])
+		}
+		if got != want {
+			t.Fatalf("trial %d: protected=%d baseline=%d", trial, got, want)
+		}
+	}
+}

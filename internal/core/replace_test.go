@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"parallax/internal/chain"
+	"parallax/internal/gadget"
+	"parallax/internal/x86"
+)
+
+// TestChainReplacementAttack demonstrates §VI-B: an adversary who
+// found the chain cannot simply swap in a trivial replacement — "the
+// replacement code must be functionally equivalent to the verification
+// code", because the program depends on its results.
+//
+// The attacker here builds the laziest possible replacement: a chain
+// that writes a constant to the return slot and exits. It is
+// structurally valid (the program doesn't crash), but the verification
+// function's results are wrong and the program's output diverges —
+// replacement without reverse engineering buys nothing.
+func TestChainReplacementAttack(t *testing.T) {
+	m := buildMixModule(t)
+	p, err := Protect(m, Options{VerifyFuncs: []string{"mix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := runImg(t, p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the replacement from the binary's own gadget inventory,
+	// exactly as an attacker would.
+	cat := p.Catalog
+	pick := func(k gadget.Kind, dst, src x86.Reg) *gadget.Gadget {
+		for _, g := range cat.Find(k, dst, src) {
+			if g.StackPops <= 1 && !g.FarRet && g.RetImm == 0 && !g.StackWrites {
+				return g
+			}
+		}
+		t.Fatalf("attacker found no %v gadget", k)
+		return nil
+	}
+	popEAX := pick(gadget.KindPopReg, x86.EAX, x86.NumRegs)
+	popEBX := pick(gadget.KindPopReg, x86.EBX, x86.NumRegs)
+	store := pick(gadget.KindStore, x86.EBX, x86.EAX)
+	popEsp := pick(gadget.KindPopEsp, x86.NumRegs, x86.NumRegs)
+	bareRet := pick(gadget.KindRet, x86.NumRegs, x86.NumRegs)
+
+	ch := p.Chains["mix"]
+	// Replacement chain: ret_slot = 1; exit. Bare-ret filler keeps the
+	// final word exactly at the loader-patched exit index.
+	words := []uint32{
+		popEAX.Addr, 1, // eax = 1
+		popEBX.Addr, ch.RetSlotAddr, // ebx = &ret_slot
+		store.Addr, // [ebx] = eax
+	}
+	for len(words) < ch.ExitPtrIndex-1 {
+		words = append(words, bareRet.Addr) // chain no-op
+	}
+	words = append(words, popEsp.Addr, 0xDEADC0DE) // epilogue + exit ptr
+
+	raw := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(raw[4*i:], w)
+	}
+	sym := p.Image.MustSymbol(chain.ChainSym("mix"))
+	attacked := p.Image.Clone()
+	if err := attacked.WriteAt(sym.Addr, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := runImg(t, attacked)
+	if err == nil && st == clean {
+		t.Fatalf("trivial chain replacement preserved behaviour (status %d); "+
+			"the program must depend on the verification code's results", st)
+	}
+	t.Logf("replacement attack outcome: status=%d err=%v (clean=%d) — "+
+		"functional equivalence is required, as §VI-B argues", st, err, clean)
+}

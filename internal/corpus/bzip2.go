@@ -1,0 +1,161 @@
+package corpus
+
+import "parallax/internal/ir"
+
+// BuildBzip2 models a block compressor's front end: run-length
+// encoding, move-to-front transformation and symbol frequency
+// statistics over a data block — tight arithmetic loops over bytes,
+// the bzip2-like profile.
+func BuildBzip2() *ir.Module {
+	mb := ir.NewModule("bzip2")
+
+	const blockLen = 3072
+	mb.Global("block", compressible(0x5EED, blockLen))
+	mb.Global("blocklen", leWord(blockLen))
+	mb.GlobalZero("rleout", blockLen*2)
+	mb.GlobalZero("mtf", 256)
+	mb.GlobalZero("freq", 256*4)
+
+	// freqmix — the verification candidate: folds a 64-entry stripe of
+	// the frequency table into an entropy-ish estimate. Loop-heavy with
+	// a small static body.
+	fb := mb.Func("freqmix", 2)
+	est := fb.Param(0)
+	stripe := fb.Param(1)
+	ftab := fb.Addr("freq", 0)
+	four0 := fb.Const(4)
+	k := fb.Const(0x45CB9F3B)
+	eight := fb.Const(8)
+	loop(fb, "stripe", 0, 64, func(i ir.Value) {
+		idx := fb.Add(fb.Mul(stripe, fb.Const(64)), i)
+		f := fb.Load(fb.Add(ftab, fb.Mul(idx, four0)))
+		sq := fb.Mul(f, f)
+		fb.Assign(est, fb.Add(est, fb.Shr(sq, eight)))
+		fb.Assign(est, fb.Xor(est, fb.Mul(f, k)))
+		big := fb.Const(1 << 28)
+		over := fb.Cmp(ir.UGt, est, big)
+		ifElse(fb, "clamp", over, func() {
+			two := fb.Const(2)
+			fb.Assign(est, fb.Shr(est, two))
+		}, nil)
+	})
+	fb.Ret(est)
+
+	// rle_encode: classic run-length pass; returns output length.
+	fb = mb.Func("rle_encode", 0)
+	src := fb.Addr("block", 0)
+	dst := fb.Addr("rleout", 0)
+	n := fb.Load(fb.Addr("blocklen", 0))
+	out := fb.Const(0)
+	i := fb.Const(0)
+	one := fb.Const(1)
+	fb.Jmp("rle.head")
+	fb.Block("rle.head")
+	c := fb.Cmp(ir.ULt, i, n)
+	fb.Br(c, "rle.body", "rle.done")
+	fb.Block("rle.body")
+	b := fb.Load8(fb.Add(src, i))
+	run := fb.Const(1)
+	fb.Jmp("run.head")
+	fb.Block("run.head")
+	nxt := fb.Add(i, run)
+	inRange := fb.Cmp(ir.ULt, nxt, n)
+	fb.Br(inRange, "run.chk", "run.done")
+	fb.Block("run.chk")
+	nb := fb.Load8(fb.Add(src, nxt))
+	same := fb.Cmp(ir.Eq, nb, b)
+	cap255 := fb.Const(255)
+	short := fb.Cmp(ir.ULt, run, cap255)
+	cont := fb.And(same, short)
+	fb.Br(cont, "run.grow", "run.done")
+	fb.Block("run.grow")
+	fb.Assign(run, fb.Add(run, one))
+	fb.Jmp("run.head")
+	fb.Block("run.done")
+	fb.Store8(fb.Add(dst, out), b)
+	fb.Store8(fb.Add(dst, fb.Add(out, one)), run)
+	two := fb.Const(2)
+	fb.Assign(out, fb.Add(out, two))
+	fb.Assign(i, fb.Add(i, run))
+	fb.Jmp("rle.head")
+	fb.Block("rle.done")
+	fb.Ret(out)
+
+	// mtf_encode: move-to-front transform over the block; returns the
+	// sum of emitted ranks (small for compressible data).
+	fb = mb.Func("mtf_encode", 0)
+	tab := fb.Addr("mtf", 0)
+	loop(fb, "mtfinit", 0, 256, func(j ir.Value) {
+		fb.Store8(fb.Add(tab, j), j)
+	})
+	src2 := fb.Addr("block", 0)
+	// The transform covers a block prefix: the rank search is O(256)
+	// per byte and dominates otherwise.
+	n2 := fb.Const(768)
+	rankSum := fb.Const(0)
+	loopVal(fb, "mtf", 0, n2, func(j ir.Value) {
+		sym := fb.Load8(fb.Add(src2, j))
+		// Find the symbol's rank.
+		rank := fb.Const(0)
+		loop(fb, "find", 0, 256, func(r ir.Value) {
+			cur := fb.Load8(fb.Add(tab, r))
+			hit := fb.Cmp(ir.Eq, cur, sym)
+			// rank |= r & -hit: table entries are unique, so exactly
+			// one iteration hits.
+			maskHit := fb.Neg(hit)
+			fb.Assign(rank, fb.Or(rank, fb.And(r, maskHit)))
+		})
+		// Shift table entries [0,rank) up by one, put sym in front.
+		loopVal(fb, "shift", 0, rank, func(s ir.Value) {
+			idx := fb.Sub(rank, fb.Add(s, fb.Const(1)))
+			v := fb.Load8(fb.Add(tab, idx))
+			fb.Store8(fb.Add(tab, fb.Add(idx, fb.Const(1))), v)
+		})
+		fb.Store8(tab, sym)
+		fb.Assign(rankSum, fb.Add(rankSum, rank))
+	})
+	fb.Ret(rankSum)
+
+	// freq_stats: histogram plus the freqmix estimate.
+	fb = mb.Func("freq_stats", 0)
+	ft := fb.Addr("freq", 0)
+	src3 := fb.Addr("block", 0)
+	n3 := fb.Load(fb.Addr("blocklen", 0))
+	four := fb.Const(4)
+	loopVal(fb, "hist", 0, n3, func(j ir.Value) {
+		sym := fb.Load8(fb.Add(src3, j))
+		slot := fb.Add(ft, fb.Mul(sym, four))
+		fb.Store(slot, fb.Add(fb.Load(slot), fb.Const(1)))
+	})
+	estv := fb.Const(0)
+	loop(fb, "estv", 0, 4, func(j ir.Value) {
+		fb.Assign(estv, fb.Call("freqmix", estv, j))
+	})
+	fb.Ret(estv)
+
+	fb = mb.Func("main", 0)
+	rle := fb.Call("rle_encode")
+	mtf := fb.Call("mtf_encode")
+	est2 := fb.Call("freq_stats")
+	acc := fb.Add(fb.Add(rle, mtf), est2)
+	emitExit(fb, acc)
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// compressible generates runs-and-text data a block compressor would
+// plausibly see.
+func compressible(seed uint32, n int) []byte {
+	raw := testData(seed, n)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		b := raw[len(out)%len(raw)]
+		runLen := 1 + int(b%7)
+		sym := b % 24
+		for r := 0; r < runLen && len(out) < n; r++ {
+			out = append(out, 'A'+sym)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package corpus
+
+import "parallax/internal/ir"
+
+// BuildLame models a fixed-point audio encoder: windowed dot products
+// (the polyphase-filter stand-in), per-band energy and quantization —
+// multiply-accumulate loops over sample arrays, the lame-like profile.
+func BuildLame() *ir.Module {
+	mb := ir.NewModule("lame")
+
+	const nsamples = 8192
+	mb.Global("samples", sampleData(0x50D4, nsamples))
+	mb.Global("window", sampleData(0xFEED, 64))
+	mb.GlobalZero("bands", 32*4)
+	mb.GlobalZero("quantized", 32*4)
+
+	// quant — the verification candidate: fixed-point quantization of
+	// all 32 bands with saturation, iterated over four scale shifts per
+	// call. Loop-heavy with a small static body.
+	fb := mb.Func("quant", 2)
+	qacc := fb.Param(0)
+	scale := fb.Param(1)
+	bandsQ := fb.Addr("bands", 0)
+	qoutQ := fb.Addr("quantized", 0)
+	fourQ := fb.Const(4)
+	twelve := fb.Const(12)
+	hi := fb.Const(32767)
+	lo := fb.Const(-32768)
+	loop(fb, "qall", 0, 128, func(i ir.Value) {
+		thirtyOne := fb.Const(31)
+		bnd := fb.And(i, thirtyOne)
+		v := fb.Load(fb.Add(bandsQ, fb.Mul(bnd, fourQ)))
+		q := fb.Mul(v, scale)
+		fb.Assign(q, fb.Bin(ir.Sar, q, twelve))
+		tooHi := fb.Cmp(ir.Gt, q, hi)
+		ifElse(fb, "sat.hi", tooHi, func() {
+			fb.Assign(q, hi)
+		}, func() {
+			tooLo := fb.Cmp(ir.Lt, q, lo)
+			ifElse(fb, "sat.lo", tooLo, func() {
+				fb.Assign(q, lo)
+			}, nil)
+		})
+		fb.Store(fb.Add(qoutQ, fb.Mul(bnd, fourQ)), q)
+		mask := fb.Const(0xFFFF)
+		fb.Assign(qacc, fb.Add(qacc, fb.And(q, mask)))
+	})
+	fb.Ret(qacc)
+
+	// dot: 64-tap multiply-accumulate of samples against the window.
+	fb = mb.Func("dot", 1)
+	off := fb.Param(0)
+	s := fb.Addr("samples", 0)
+	w := fb.Addr("window", 0)
+	four := fb.Const(4)
+	acc := fb.Const(0)
+	loop(fb, "mac", 0, 64, func(i ir.Value) {
+		sv := fb.Load(fb.Add(s, fb.Mul(fb.Add(off, i), four)))
+		wv := fb.Load(fb.Add(w, fb.Mul(i, four)))
+		fb.Assign(acc, fb.Add(acc, fb.Mul(sv, wv)))
+	})
+	fifteen := fb.Const(15)
+	fb.Ret(fb.Bin(ir.Sar, acc, fifteen))
+
+	// analyze: slide the filter over the sample buffer into 32 bands.
+	fb = mb.Func("analyze", 0)
+	bands := fb.Addr("bands", 0)
+	four2 := fb.Const(4)
+	energy := fb.Const(0)
+	loop(fb, "band", 0, 128, func(bnd ir.Value) {
+		thirty := fb.Const(30)
+		pos := fb.Mul(bnd, thirty)
+		dv := fb.Call("dot", pos)
+		thirtyOne2 := fb.Const(31)
+		slot := fb.And(bnd, thirtyOne2)
+		fb.Store(fb.Add(bands, fb.Mul(slot, four2)), dv)
+		sq := fb.Mul(dv, dv)
+		ten := fb.Const(10)
+		fb.Assign(energy, fb.Add(energy, fb.Shr(sq, ten)))
+	})
+	fb.Ret(energy)
+
+	// quantize_bands: scale selection plus quant per band.
+	fb = mb.Func("quantize_bands", 1)
+	energy2 := fb.Param(0)
+	bands2 := fb.Addr("bands", 0)
+	qout := fb.Addr("quantized", 0)
+	four3 := fb.Const(4)
+	qsum := fb.Const(0)
+	// Derive a scale from the frame energy (louder → coarser).
+	scale2 := fb.Const(4096)
+	big := fb.Const(1 << 20)
+	loud := fb.Cmp(ir.UGt, energy2, big)
+	ifElse(fb, "scl", loud, func() {
+		fb.AssignConst(scale2, 1024)
+	}, nil)
+	loop(fb, "qb", 0, 4, func(pass ir.Value) {
+		fb.Assign(scale2, fb.Add(scale2, fb.Shl(pass, fb.Const(6))))
+		fb.Assign(qsum, fb.Call("quant", qsum, scale2))
+	})
+	_ = bands2
+	_ = qout
+	_ = four3
+	fb.Ret(qsum)
+
+	// churn: per-sample gain pass (bulk of a real encoder's time).
+	fb = mb.Func("churn", 0)
+	s2 := fb.Addr("samples", 0)
+	four4 := fb.Const(4)
+	acc4 := fb.Const(0)
+	loop(fb, "pass", 0, 16, func(ir.Value) {
+		loop(fb, "gain", 0, nsamples, func(i ir.Value) {
+			addr := fb.Add(s2, fb.Mul(i, four4))
+			sv := fb.Load(addr)
+			three := fb.Const(3)
+			boosted := fb.Add(sv, fb.Bin(ir.Sar, sv, three))
+			fb.Store(addr, boosted)
+			fb.Assign(acc4, fb.Xor(acc4, boosted))
+		})
+	})
+	fb.Ret(acc4)
+
+	fb = mb.Func("main", 0)
+	gv := fb.Call("churn")
+	ev := fb.Call("analyze")
+	qv := fb.Call("quantize_bands", ev)
+	emitExit(fb, fb.Add(fb.Add(gv, ev), qv))
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// sampleData generates signed 16-bit-ish samples stored as words.
+func sampleData(seed uint32, n int) []byte {
+	raw := testData(seed, 2*n)
+	out := make([]byte, 0, 4*n)
+	for i := 0; i < n; i++ {
+		v := int32(int16(uint16(raw[2*i])|uint16(raw[2*i+1])<<8)) / 4
+		out = append(out, leWord(uint32(v))...)
+	}
+	return out
+}

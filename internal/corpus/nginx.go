@@ -1,0 +1,193 @@
+package corpus
+
+import "parallax/internal/ir"
+
+// BuildNginx models a request router: method dispatch, URI hashing,
+// route-table probing and query-parameter accounting over a batch of
+// synthetic request lines — branchy text processing with table
+// lookups, the nginx-like profile.
+func BuildNginx() *ir.Module {
+	mb := ir.NewModule("nginx")
+
+	// A batch of newline-separated request lines, with a line-offset
+	// table (lines have different lengths, as real requests do).
+	reqs := ""
+	var offs []byte
+	methods := []string{"GET", "POST", "HEAD", "GET", "GET", "PUT"}
+	for i, m := range methods {
+		offs = append(offs, leWord(uint32(len(reqs)))...)
+		reqs += m + " /svc/" + string(rune('a'+i)) + "/item?id=" +
+			string(rune('0'+i)) + "&k=v&flag=1 HTTP/1.1\n"
+	}
+	extra := textData(0x7E57, 262144)
+	mb.Global("requests", []byte(reqs))
+	mb.Global("reqoffs", offs)
+	mb.Global("reqlen", leWord(uint32(len(reqs))))
+	mb.Global("noise", extra)
+	mb.GlobalZero("routes", 64*4)
+	mb.GlobalZero("hits", 64*4)
+
+	// bucket — the verification candidate: 96 rounds of Fibonacci
+	// hashing over the seed, then a fold to a table slot. Loop-heavy
+	// with a small static body.
+	fb := mb.Func("bucket", 1)
+	h := fb.Param(0)
+	k := fb.Const(0x61C88647 ^ -1) // ~golden-ratio constant
+	s16 := fb.Const(16)
+	s5 := fb.Const(5)
+	loop(fb, "rounds", 0, 96, func(i ir.Value) {
+		fb.Assign(h, fb.Mul(h, k))
+		fb.Assign(h, fb.Xor(h, fb.Shr(h, s16)))
+		fb.Assign(h, fb.Add(h, fb.Xor(i, fb.Shl(h, s5))))
+	})
+	low := fb.Shr(fb.Shl(h, s5), s5) // mask via shifts
+	sixtyThree := fb.Const(63)
+	fb.Ret(fb.And(low, sixtyThree))
+
+	// method_id: 1=GET 2=POST 3=HEAD 4=other, from the first two bytes.
+	fb = mb.Func("method_id", 1)
+	p := fb.Param(0)
+	b0 := fb.Load8(p)
+	one := fb.Const(1)
+	b1 := fb.Load8(fb.Add(p, one))
+	g := fb.Const('G')
+	pp := fb.Const('P')
+	hh := fb.Const('H')
+	e := fb.Const('E')
+	id := fb.Const(4)
+	isG := fb.Cmp(ir.Eq, b0, g)
+	ifElse(fb, "g", isG, func() {
+		fb.AssignConst(id, 1)
+	}, func() {
+		isP := fb.Cmp(ir.Eq, b0, pp)
+		ifElse(fb, "p", isP, func() {
+			fb.AssignConst(id, 2)
+		}, func() {
+			isH := fb.Cmp(ir.Eq, b0, hh)
+			isE := fb.Cmp(ir.Eq, b1, e)
+			both := fb.And(isH, isE)
+			ifElse(fb, "h", both, func() {
+				fb.AssignConst(id, 3)
+			}, nil)
+		})
+	})
+	fb.Ret(id)
+
+	// hash_span: FNV over [p, p+n).
+	fb = mb.Func("hash_span", 2)
+	p2 := fb.Param(0)
+	n2 := fb.Param(1)
+	acc := fb.Const(0x811C9DC5 - (1 << 31) - (1 << 31))
+	prime := fb.Const(0x01000193)
+	loopVal(fb, "hs", 0, n2, func(i ir.Value) {
+		b := fb.Load8(fb.Add(p2, i))
+		fb.Assign(acc, fb.Mul(fb.Xor(acc, b), prime))
+	})
+	fb.Ret(acc)
+
+	// route_insert: routes[bucket(h)] = h (linear probe on collision).
+	fb = mb.Func("route_insert", 1)
+	h3 := fb.Param(0)
+	slot := fb.Call("bucket", h3)
+	four := fb.Const(4)
+	base := fb.Addr("routes", 0)
+	done := fb.Const(0)
+	loop(fb, "probe", 0, 64, func(ir.Value) {
+		zero := fb.Const(0)
+		pending := fb.Cmp(ir.Eq, done, zero)
+		ifElse(fb, "pend", pending, func() {
+			addr := fb.Add(base, fb.Mul(slot, four))
+			cur := fb.Load(addr)
+			free := fb.Cmp(ir.Eq, cur, zero)
+			dup := fb.Cmp(ir.Eq, cur, h3)
+			stop := fb.Or(free, dup)
+			ifElse(fb, "ins", stop, func() {
+				fb.Store(addr, h3)
+				fb.AssignConst(done, 1)
+			}, func() {
+				one := fb.Const(1)
+				s := fb.Add(slot, one)
+				sixtyThree := fb.Const(63)
+				fb.Assign(slot, fb.And(s, sixtyThree))
+			})
+		}, nil)
+	})
+	fb.Ret(slot)
+
+	// route_lookup: count probes to find h.
+	fb = mb.Func("route_lookup", 1)
+	h4 := fb.Param(0)
+	slot4 := fb.Call("bucket", h4)
+	four4 := fb.Const(4)
+	base4 := fb.Addr("routes", 0)
+	probes := fb.Const(0)
+	found := fb.Const(0)
+	loop(fb, "look", 0, 64, func(ir.Value) {
+		addr := fb.Add(base4, fb.Mul(slot4, four4))
+		cur := fb.Load(addr)
+		hit := fb.Cmp(ir.Eq, cur, h4)
+		fb.Assign(found, fb.Or(found, hit))
+		miss := fb.Cmp(ir.Eq, hit, fb.Const(0))
+		fb.Assign(probes, fb.Add(probes, miss))
+		one := fb.Const(1)
+		sixtyThree := fb.Const(63)
+		fb.Assign(slot4, fb.And(fb.Add(slot4, one), sixtyThree))
+	})
+	fb.Ret(fb.Add(found, probes))
+
+	// count_params: '&' and '=' per request buffer.
+	fb = mb.Func("count_params", 0)
+	p5 := fb.Addr("requests", 0)
+	n5 := fb.Load(fb.Addr("reqlen", 0))
+	cnt := fb.Const(0)
+	loopVal(fb, "cp", 0, n5, func(i ir.Value) {
+		b := fb.Load8(fb.Add(p5, i))
+		amp := fb.Const('&')
+		eq := fb.Const('=')
+		isAmp := fb.Cmp(ir.Eq, b, amp)
+		isEq := fb.Cmp(ir.Eq, b, eq)
+		fb.Assign(cnt, fb.Add(cnt, fb.Add(isAmp, isEq)))
+	})
+	fb.Ret(cnt)
+
+	// scan_noise: background byte churn (keeps the candidate's share
+	// small, as in a real server doing I/O).
+	fb = mb.Func("scan_noise", 0)
+	p6 := fb.Addr("noise", 0)
+	acc6 := fb.Const(0)
+	loop(fb, "noise", 0, 262144, func(i ir.Value) {
+		b := fb.Load8(fb.Add(p6, i))
+		fb.Assign(acc6, fb.Add(fb.Xor(acc6, b), b))
+	})
+	loop(fb, "noise2", 0, 262144, func(i ir.Value) {
+		b := fb.Load8(fb.Add(p6, i))
+		sh := fb.Const(3)
+		fb.Assign(acc6, fb.Xor(acc6, fb.Shl(b, sh)))
+	})
+	fb.Ret(acc6)
+
+	fb = mb.Func("main", 0)
+	// Process each request line: hash a fixed-size prefix, insert,
+	// look up, dispatch on method.
+	reqBase := fb.Addr("requests", 0)
+	offBase := fb.Addr("reqoffs", 0)
+	total := fb.Const(0)
+	four2 := fb.Const(4)
+	loop(fb, "reqs", 0, 6, func(i ir.Value) {
+		off := fb.Load(fb.Add(offBase, fb.Mul(i, four2)))
+		p := fb.Add(reqBase, off)
+		mid := fb.Call("method_id", p)
+		twenty := fb.Const(20)
+		hv := fb.Call("hash_span", p, twenty)
+		fb.Call("route_insert", hv)
+		lk := fb.Call("route_lookup", hv)
+		fb.Assign(total, fb.Add(total, fb.Add(mid, lk)))
+	})
+	params := fb.Call("count_params")
+	noise := fb.Call("scan_noise")
+	fb.Assign(total, fb.Add(total, fb.Add(params, noise)))
+	emitExit(fb, total)
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}

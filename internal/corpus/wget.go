@@ -1,0 +1,123 @@
+package corpus
+
+import "parallax/internal/ir"
+
+// BuildWget models a network client processing an HTTP response:
+// status-line parsing, header hashing, chunk accounting and body
+// copying — byte-scanning loops over mostly-text data, the wget-like
+// profile.
+func BuildWget() *ir.Module {
+	mb := ir.NewModule("wget")
+
+	// A synthetic HTTP response: status line, headers, then a body.
+	header := "HTTP/1.1 200 OK\r\n" +
+		"server: synth/1.0\r\n" +
+		"content-type: text/plain\r\n" +
+		"x-trace: abcdef0123456789\r\n" +
+		"content-length: 32768\r\n" +
+		"\r\n"
+	body := textData(0xBEEF, 32768)
+	resp := append([]byte(header), body...)
+	mb.Global("response", resp)
+	mb.GlobalZero("bodybuf", 32768)
+	mb.Global("resplen", leWord(uint32(len(resp))))
+	mb.Global("hdrlen", leWord(uint32(len(header))))
+
+	// mix32 — the verification candidate: hashes a 128-byte block of
+	// the response per call. Loop-heavy with a small static body, so
+	// its chain is short while each call does substantial work — the
+	// §VII-B profile of a good verification function.
+	fb := mb.Func("mix32", 2)
+	h := fb.Param(0)
+	off := fb.Param(1)
+	base := fb.Addr("response", 0)
+	prime := fb.Const(0x01000193)
+	three := fb.Const(3)
+	s15 := fb.Const(15)
+	loop(fb, "blk", 0, 128, func(i ir.Value) {
+		c := fb.Load8(fb.Add(base, fb.Add(off, i)))
+		fb.Assign(h, fb.Mul(fb.Xor(h, c), prime))
+		fb.Assign(h, fb.Xor(h, fb.Shr(h, s15)))
+		fb.Assign(h, fb.Add(h, fb.Shl(c, three)))
+		big := fb.Const(0x7FFFFFFF)
+		isBig := fb.Cmp(ir.UGt, h, big)
+		ifElse(fb, "wrap", isBig, func() {
+			one := fb.Const(1)
+			fb.Assign(h, fb.Shr(h, one))
+		}, nil)
+	})
+	fb.Ret(h)
+
+	// parse_status: read the 3-digit status code after "HTTP/1.1 ".
+	fb = mb.Func("parse_status", 0)
+	base2 := fb.Addr("response", 9)
+	code := fb.Const(0)
+	loop(fb, "digits", 0, 3, func(i ir.Value) {
+		d := fb.Load8(fb.Add(base2, i))
+		zero := fb.Const('0')
+		ten := fb.Const(10)
+		fb.Assign(code, fb.Add(fb.Mul(code, ten), fb.Sub(d, zero)))
+	})
+	fb.Ret(code)
+
+	// hash_headers: digest the response in sparse 128-byte blocks via
+	// mix32 (headers plus body samples).
+	fb = mb.Func("hash_headers", 0)
+	hh := fb.Const(0x811C9DC5 - (1 << 31) - (1 << 31)) // fnv basis as int32
+	tweak := fb.Const(0x1FCB4B1D)
+	fb.Assign(hh, fb.Xor(hh, tweak))
+	blockGap := fb.Const(4096)
+	loop(fb, "hdr", 0, 6, func(i ir.Value) {
+		off := fb.Mul(i, blockGap)
+		fb.Assign(hh, fb.Call("mix32", hh, off))
+	})
+	fb.Ret(hh)
+
+	// copy_body: copy the body into bodybuf, counting letters.
+	fb = mb.Func("copy_body", 0)
+	hl := fb.Load(fb.Addr("hdrlen", 0))
+	total := fb.Load(fb.Addr("resplen", 0))
+	src := fb.Add(fb.Addr("response", 0), hl)
+	dst := fb.Addr("bodybuf", 0)
+	bodyLen := fb.Sub(total, hl)
+	letters := fb.Const(0)
+	loopVal(fb, "copy", 0, bodyLen, func(i ir.Value) {
+		b := fb.Load8(fb.Add(src, i))
+		fb.Store8(fb.Add(dst, i), b)
+		la := fb.Const('a')
+		lz := fb.Const('z')
+		ge := fb.Cmp(ir.UGe, b, la)
+		le := fb.Cmp(ir.ULe, b, lz)
+		isLetter := fb.And(ge, le)
+		fb.Assign(letters, fb.Add(letters, isLetter))
+	})
+	fb.Ret(letters)
+
+	// count_lines: CRLF scan over the whole response.
+	fb = mb.Func("count_lines", 0)
+	p2 := fb.Addr("response", 0)
+	total2 := fb.Load(fb.Addr("resplen", 0))
+	lines := fb.Const(0)
+	loopVal(fb, "lines", 0, total2, func(i ir.Value) {
+		b := fb.Load8(fb.Add(p2, i))
+		nl := fb.Const('\n')
+		isNl := fb.Cmp(ir.Eq, b, nl)
+		fb.Assign(lines, fb.Add(lines, isNl))
+	})
+	fb.Ret(lines)
+
+	fb = mb.Func("main", 0)
+	codeV := fb.Call("parse_status")
+	hashV := fb.Call("hash_headers")
+	lettersV := fb.Call("copy_body")
+	linesV := fb.Call("count_lines")
+	acc := fb.Add(fb.Add(codeV, hashV), fb.Add(lettersV, linesV))
+	emitExit(fb, acc)
+
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func leWord(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}

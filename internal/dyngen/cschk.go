@@ -1,0 +1,104 @@
+package dyngen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"parallax/internal/chain"
+	"parallax/internal/image"
+	"parallax/internal/ir"
+	"parallax/internal/ropc"
+)
+
+// Chain checksumming (§VI-C): "because the verification code resides
+// in data memory, it can be protected by any traditional checksumming
+// technique. At the same time, there is no risk of the attack of
+// Wurster et al., because that attack relies on the handling of code
+// as data." The checker reads the chain buffer — data reads of data —
+// before every pivot and raises the tamper response on mismatch.
+
+// ChecksumTamperStatus is the chain-checksum tamper response.
+const ChecksumTamperStatus = 88
+
+// CheckerName returns the per-function chain-checksum routine symbol.
+func CheckerName(fn string) string { return "..parallax.cschk." + fn }
+
+func csLenSym(fn string) string  { return "..parallax.cslen." + fn }
+func csWantSym(fn string) string { return "..parallax.cswant." + fn }
+
+// InjectChecker adds the chain checksummer for fn to the module. Only
+// static chains can be checksummed (dynamic chains change between
+// runs by design).
+func InjectChecker(m *ir.Module, fn string) error {
+	if m.Func(CheckerName(fn)) != nil {
+		return fmt.Errorf("dyngen: checker for %q already injected", fn)
+	}
+	mb := moduleAppender{m: m}
+	mb.global(&ir.Global{Name: csLenSym(fn), Init: make([]byte, 4)})
+	mb.global(&ir.Global{Name: csWantSym(fn), Init: make([]byte, 4)})
+	mb.extern(chain.ChainSym(fn))
+	m.Funcs = append(m.Funcs, buildChecker(fn))
+	return ir.Validate(m)
+}
+
+// buildChecker emits FNV-1a over the chain words, exit(88) on
+// mismatch.
+func buildChecker(fn string) *ir.Func {
+	fb := ir.NewFunc(CheckerName(fn), 0)
+	l := fb.Load(fb.Addr(csLenSym(fn), 0)) // in words
+	want := fb.Load(fb.Addr(csWantSym(fn), 0))
+	base := fb.Addr(chain.ChainSym(fn), 0)
+	h := fb.Const(-2128831035) // FNV basis as int32
+	prime := fb.Const(0x01000193)
+	four := fb.Const(4)
+	one := fb.Const(1)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(ir.ULt, i, l)
+	fb.Br(c, "body", "check")
+	fb.Block("body")
+	w := fb.Load(fb.Add(base, fb.Mul(i, four)))
+	fb.Assign(h, fb.Mul(fb.Xor(h, w), prime))
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("check")
+	ok := fb.Cmp(ir.Eq, h, want)
+	fb.Br(ok, "pass", "tamper")
+	fb.Block("tamper")
+	st := fb.Const(ChecksumTamperStatus)
+	fb.Syscall(1, st)
+	fb.RetVoid()
+	fb.Block("pass")
+	fb.RetVoid()
+	return fb.Fn()
+}
+
+// InstallChecker patches the checker's length and expected hash after
+// the chain words are installed. The exit-pointer word is excluded
+// from the hash — the loader rewrites it on every call.
+func InstallChecker(img *image.Image, fn string, ch *ropc.Chain) error {
+	words := len(ch.Words)
+	if ch.ExitPtrIndex != words-1 {
+		return fmt.Errorf("dyngen: unexpected exit pointer position %d/%d",
+			ch.ExitPtrIndex, words)
+	}
+	hashed := uint32(words - 1) // skip the mutable exit pointer
+	sym := img.MustSymbol(chain.ChainSym(fn))
+	raw, err := img.ReadAt(sym.Addr, 4*hashed)
+	if err != nil {
+		return err
+	}
+	h := uint32(2166136261)
+	for i := uint32(0); i < hashed; i++ {
+		w := binary.LittleEndian.Uint32(raw[4*i:])
+		h = (h ^ w) * 16777619
+	}
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, hashed)
+	if err := img.WriteAt(img.MustSymbol(csLenSym(fn)).Addr, buf); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf, h)
+	return img.WriteAt(img.MustSymbol(csWantSym(fn)).Addr, buf)
+}

@@ -1,0 +1,188 @@
+package dyngen
+
+import (
+	"parallax/internal/chain"
+	"parallax/internal/ir"
+)
+
+// The decoder stubs are written in IR and compiled into the protected
+// binary alongside the application. Each runs before every chain call
+// (wired through the loader's Decoder hook) and materializes the chain
+// words into the chain buffer.
+
+// buildXorDecoder: chain[i] = enc[i] ^ key for every chain word.
+func buildXorDecoder(cfg Config) *ir.Func {
+	fb := ir.NewFunc(cfg.DecoderName(), 0)
+	l := fb.Load(fb.Addr(cfg.lenSym(), 0))
+	key := fb.Load(fb.Addr(cfg.keySym(), 0))
+	dst := fb.Addr(chain.ChainSym(cfg.Fn), 0)
+	src := fb.Addr(cfg.EncSym(), 0)
+	i := fb.Const(0)
+	fb.Jmp("head")
+
+	fb.Block("head")
+	c := fb.Cmp(ir.ULt, i, l)
+	fb.Br(c, "body", "done")
+
+	fb.Block("body")
+	four := fb.Const(4)
+	off := fb.Mul(i, four)
+	w := fb.Load(fb.Add(src, off))
+	fb.Store(fb.Add(dst, off), fb.Xor(w, key))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+
+	fb.Block("done")
+	fb.RetVoid()
+	return fb.Fn()
+}
+
+// buildRC4Decoder: textbook RC4 (KSA + PRGA) with a 16-byte key,
+// matching the install-time rc4State byte for byte.
+func buildRC4Decoder(cfg Config) *ir.Func {
+	fb := ir.NewFunc(cfg.DecoderName(), 0)
+	l := fb.Load(fb.Addr(cfg.lenSym(), 0))
+	two := fb.Const(2)
+	nbytes := fb.Shl(l, two)
+	s := fb.Addr(cfg.sboxSym(), 0)
+	key := fb.Addr(cfg.keySym(), 0)
+	dst := fb.Addr(chain.ChainSym(cfg.Fn), 0)
+	src := fb.Addr(cfg.EncSym(), 0)
+
+	c256 := fb.Const(256)
+	c255 := fb.Const(255)
+	c15 := fb.Const(15)
+	one := fb.Const(1)
+
+	// KSA init: S[i] = i.
+	i := fb.Const(0)
+	fb.Jmp("ksa0.head")
+	fb.Block("ksa0.head")
+	c := fb.Cmp(ir.ULt, i, c256)
+	fb.Br(c, "ksa0.body", "ksa1.init")
+	fb.Block("ksa0.body")
+	fb.Store8(fb.Add(s, i), i)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("ksa0.head")
+
+	// KSA scramble.
+	fb.Block("ksa1.init")
+	j := fb.Const(0)
+	fb.AssignConst(i, 0)
+	fb.Jmp("ksa1.head")
+	fb.Block("ksa1.head")
+	c = fb.Cmp(ir.ULt, i, c256)
+	fb.Br(c, "ksa1.body", "prga.init")
+	fb.Block("ksa1.body")
+	si := fb.Load8(fb.Add(s, i))
+	kb := fb.Load8(fb.Add(key, fb.And(i, c15)))
+	fb.Assign(j, fb.And(fb.Add(fb.Add(j, si), kb), c255))
+	sj := fb.Load8(fb.Add(s, j))
+	fb.Store8(fb.Add(s, i), sj)
+	fb.Store8(fb.Add(s, j), si)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("ksa1.head")
+
+	// PRGA + decrypt.
+	fb.Block("prga.init")
+	fb.AssignConst(i, 0)
+	fb.AssignConst(j, 0)
+	n := fb.Const(0)
+	fb.Jmp("prga.head")
+	fb.Block("prga.head")
+	c = fb.Cmp(ir.ULt, n, nbytes)
+	fb.Br(c, "prga.body", "done")
+	fb.Block("prga.body")
+	fb.Assign(i, fb.And(fb.Add(i, one), c255))
+	si2 := fb.Load8(fb.Add(s, i))
+	fb.Assign(j, fb.And(fb.Add(j, si2), c255))
+	sj2 := fb.Load8(fb.Add(s, j))
+	fb.Store8(fb.Add(s, i), sj2)
+	fb.Store8(fb.Add(s, j), si2)
+	t := fb.And(fb.Add(fb.Load8(fb.Add(s, i)), fb.Load8(fb.Add(s, j))), c255)
+	k := fb.Load8(fb.Add(s, t))
+	eb := fb.Load8(fb.Add(src, n))
+	fb.Store8(fb.Add(dst, n), fb.Xor(eb, k))
+	fb.Assign(n, fb.Add(n, one))
+	fb.Jmp("prga.head")
+
+	fb.Block("done")
+	fb.RetVoid()
+	return fb.Fn()
+}
+
+// buildProbDecoder regenerates the chain word by word: a per-call
+// xorshift PRNG (seeded non-deterministically from time(2) on first
+// use) picks one of the N index lists per word, whose basis vectors
+// are XOR-combined into the word value.
+func buildProbDecoder(cfg Config) *ir.Func {
+	fb := ir.NewFunc(cfg.DecoderName(), 0)
+	l := fb.Load(fb.Addr(cfg.lenSym(), 0))
+	basis := fb.Addr(cfg.basisSym(), 0)
+	offs := fb.Addr(cfg.OffsSym(), 0)
+	idx := fb.Addr(cfg.IdxSym(), 0)
+	dst := fb.Addr(chain.ChainSym(cfg.Fn), 0)
+	rngAddr := fb.Addr(cfg.rngSym(), 0)
+	nConst := fb.Const(int32(cfg.N))
+	one := fb.Const(1)
+	four := fb.Const(4)
+
+	state := fb.Load(rngAddr)
+	zero := fb.Const(0)
+	seeded := fb.Cmp(ir.Ne, state, zero)
+	fb.Br(seeded, "loop.init", "seed")
+
+	// First call: seed from the (non-deterministic) time syscall.
+	fb.Block("seed")
+	t := fb.Syscall(13, zero) // time(NULL)
+	fb.Assign(state, fb.Or(t, one))
+	fb.Jmp("loop.init")
+
+	fb.Block("loop.init")
+	i := fb.Const(0)
+	fb.Jmp("head")
+
+	fb.Block("head")
+	c := fb.Cmp(ir.ULt, i, l)
+	fb.Br(c, "body", "done")
+
+	fb.Block("body")
+	// xorshift32 step — must match gf2.go's xorshift32.
+	c13 := fb.Const(13)
+	c17 := fb.Const(17)
+	c5 := fb.Const(5)
+	fb.Assign(state, fb.Xor(state, fb.Shl(state, c13)))
+	fb.Assign(state, fb.Xor(state, fb.Shr(state, c17)))
+	fb.Assign(state, fb.Xor(state, fb.Shl(state, c5)))
+	j := fb.Bin(ir.URem, state, nConst)
+
+	slot := fb.Add(fb.Mul(i, nConst), j)
+	off := fb.Load(fb.Add(offs, fb.Mul(slot, four)))
+	base := fb.Add(idx, off)
+	cnt := fb.Load8(base)
+	acc := fb.Const(0)
+	k := fb.Const(0)
+	fb.Jmp("khead")
+
+	fb.Block("khead")
+	kc := fb.Cmp(ir.ULt, k, cnt)
+	fb.Br(kc, "kbody", "kdone")
+
+	fb.Block("kbody")
+	b := fb.Load8(fb.Add(base, fb.Add(k, one)))
+	v := fb.Load(fb.Add(basis, fb.Mul(b, four)))
+	fb.Assign(acc, fb.Xor(acc, v))
+	fb.Assign(k, fb.Add(k, one))
+	fb.Jmp("khead")
+
+	fb.Block("kdone")
+	fb.Store(fb.Add(dst, fb.Mul(i, four)), acc)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+
+	fb.Block("done")
+	fb.Store(rngAddr, state)
+	fb.RetVoid()
+	return fb.Fn()
+}

@@ -1,0 +1,131 @@
+// Package dyngen implements the paper's §V-B dynamically generated
+// function chains: chains that are materialized into their buffer at
+// run time by a decoder stub — xor-encrypted, RC4-encrypted, or
+// probabilistically regenerated from GF(2) basis-vector index arrays.
+package dyngen
+
+import "fmt"
+
+// Basis is an ordered basis of the GF(2) vector space {0,1}^32. Every
+// 32-bit chain word (gadget address or constant) is representable as an
+// XOR of a subset of the basis vectors; index arrays store which ones
+// (§V-B: "Each vector can be generated using a linear combination of
+// vectors from a basis B which spans the vector space").
+type Basis struct {
+	// Vecs are the basis vectors b_1..b_32 (stored 0-indexed).
+	Vecs [32]uint32
+	// inv is the inverse matrix in row-major form: row r is a bitmask
+	// over the standard basis such that x = inv · v solves
+	// XOR_{i: x_i = 1} Vecs[i] = v.
+	inv [32]uint32
+}
+
+// xorshift32 is the deterministic PRNG used for basis generation and by
+// the runtime decoder (the IR implementation must match step for step).
+func xorshift32(s uint32) uint32 {
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	return s
+}
+
+// NewBasis deterministically generates an invertible basis from a
+// seed: the identity basis scrambled by random elementary row
+// operations, which preserve invertibility by construction.
+func NewBasis(seed uint32) *Basis {
+	b := &Basis{}
+	for i := range b.Vecs {
+		b.Vecs[i] = 1 << i
+	}
+	s := seed | 1
+	for round := 0; round < 256; round++ {
+		s = xorshift32(s)
+		i := int(s % 32)
+		s = xorshift32(s)
+		j := int(s % 32)
+		if i == j {
+			continue
+		}
+		// Vecs[i] += Vecs[j] (an elementary column operation on the
+		// matrix whose columns are the vectors).
+		b.Vecs[i] ^= b.Vecs[j]
+	}
+	if err := b.computeInverse(); err != nil {
+		// Elementary operations keep the matrix invertible; failure
+		// here is a programming error.
+		panic(fmt.Sprintf("dyngen: basis inversion failed: %v", err))
+	}
+	return b
+}
+
+// computeInverse Gauss-Jordan-inverts the matrix whose columns are the
+// basis vectors.
+func (b *Basis) computeInverse() error {
+	// rows[r] = bitmask over columns c of bit r of Vecs[c].
+	var rows [32]uint32
+	for c := 0; c < 32; c++ {
+		v := b.Vecs[c]
+		for r := 0; r < 32; r++ {
+			if v&(1<<r) != 0 {
+				rows[r] |= 1 << c
+			}
+		}
+	}
+	var aug [32]uint32
+	for r := range aug {
+		aug[r] = 1 << r // identity
+	}
+	for col := 0; col < 32; col++ {
+		pivot := -1
+		for r := col; r < 32; r++ {
+			if rows[r]&(1<<col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return fmt.Errorf("singular at column %d", col)
+		}
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		for r := 0; r < 32; r++ {
+			if r != col && rows[r]&(1<<col) != 0 {
+				rows[r] ^= rows[col]
+				aug[r] ^= aug[col]
+			}
+		}
+	}
+	b.inv = aug
+	return nil
+}
+
+// Decompose returns the indices S such that XOR_{i in S} Vecs[i] == v.
+func (b *Basis) Decompose(v uint32) []uint8 {
+	// x = inv · v over GF(2): bit i of x = parity(inv_row_i & v).
+	var out []uint8
+	for i := 0; i < 32; i++ {
+		if parity(b.inv[i]&v) == 1 {
+			out = append(out, uint8(i))
+		}
+	}
+	return out
+}
+
+// Combine XORs the basis vectors at the given indices — the runtime
+// reconstruction the decoder performs.
+func (b *Basis) Combine(indices []uint8) uint32 {
+	var v uint32
+	for _, i := range indices {
+		v ^= b.Vecs[i&31]
+	}
+	return v
+}
+
+func parity(v uint32) uint32 {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}

@@ -1,0 +1,59 @@
+package emu
+
+import "parallax/internal/x86"
+
+// cost returns the modeled cycle cost of one instruction. The model is
+// deliberately simple and deterministic — it exists so that slowdown
+// ratios (Figures 5a/5b) are reproducible across hosts, not to predict
+// absolute wall-clock time:
+//
+//   - 1 cycle base per instruction,
+//   - +2 per memory operand access,
+//   - +3 for multiplies, +20 for divides,
+//   - +2 for taken control transfers (call/jmp/ret include their stack
+//     traffic),
+//   - pushad/popad pay for their eight stack slots.
+//
+// REP string iterations add 2 cycles each at execution time.
+func cost(inst *x86.Inst) uint64 {
+	c := uint64(1)
+	if inst.Dst.Kind == x86.KMem {
+		c += 2
+	}
+	if inst.Src.Kind == x86.KMem {
+		c += 2
+	}
+	switch inst.Op {
+	case x86.MUL, x86.IMUL:
+		c += 3
+	case x86.DIV, x86.IDIV:
+		c += 20
+	case x86.CALL:
+		c += 4 // transfer + return-address push
+	case x86.RET, x86.RETF:
+		c += 4 // transfer + return-address pop
+	case x86.JMP:
+		c += 2
+	case x86.JCC:
+		c += 1 // static approximation; taken/not-taken not modeled
+	case x86.PUSH, x86.POP:
+		c += 2
+	case x86.PUSHAD, x86.POPAD:
+		c += 16
+	case x86.PUSHFD, x86.POPFD:
+		c += 2
+	case x86.LEAVE:
+		c += 2
+	case x86.MOVS, x86.CMPS:
+		c += 4
+	case x86.STOS, x86.LODS, x86.SCAS:
+		c += 2
+	case x86.INT:
+		c += 30 // kernel transition
+	}
+	return c
+}
+
+// InstCost exposes the cycle model for offline attribution (profiled
+// hit counts times static instruction cost).
+func InstCost(inst *x86.Inst) uint64 { return cost(inst) }

@@ -1,0 +1,328 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// Run-control errors.
+var (
+	// ErrInstLimit means the configured instruction budget was
+	// exhausted; the program is likely stuck in a loop.
+	ErrInstLimit = errors.New("emu: instruction limit exceeded")
+	// ErrHalted means a HLT instruction was executed.
+	ErrHalted = errors.New("emu: hlt executed")
+	// ErrBreakpoint means an INT3 was executed.
+	ErrBreakpoint = errors.New("emu: int3 executed")
+)
+
+// DecodeFault wraps an instruction decode failure at a given EIP. A
+// tampered or mis-targeted chain frequently dies here.
+type DecodeFault struct {
+	EIP uint32
+	Err error
+}
+
+func (e *DecodeFault) Error() string {
+	return fmt.Sprintf("emu: decode fault at eip=%#x: %v", e.EIP, e.Err)
+}
+
+func (e *DecodeFault) Unwrap() error { return e.Err }
+
+// DivideError is an integer divide fault (#DE).
+type DivideError struct{ EIP uint32 }
+
+func (e *DivideError) Error() string {
+	return fmt.Sprintf("emu: divide error at eip=%#x", e.EIP)
+}
+
+// ExitSentinel is the magic return address pushed below the entry
+// frame; returning to it ends the run cleanly with EAX as the status.
+const ExitSentinel uint32 = 0xFFFF0F00
+
+// Stack placement.
+const (
+	DefaultStackTop  uint32 = 0x0BFFF000
+	DefaultStackSize uint32 = 1 << 20
+)
+
+// CPU is one x86-32 hardware thread plus its address space.
+type CPU struct {
+	Reg [x86.NumRegs]uint32
+	EIP uint32
+
+	// Individual EFLAGS bits.
+	CF, PF, AF, ZF, SF, OF, DF bool
+
+	Mem *Memory
+	// OS handles int 0x80. Nil means any syscall faults.
+	OS Kernel
+
+	// RetHook, when non-nil, observes every executed near/far return
+	// (from = the return instruction's address, to = the target).
+	// System-level ROP monitors (§VIII-B) attach here.
+	RetHook func(from, to uint32)
+
+	// MaxInst bounds Run; 0 means DefaultMaxInst.
+	MaxInst uint64
+
+	// Icount and Cycles are the deterministic performance counters:
+	// executed instructions and modeled cost (see cost.go).
+	Icount uint64
+	Cycles uint64
+
+	// Exited is set when the program exits via syscall or by returning
+	// to ExitSentinel; Status holds the exit status.
+	Exited bool
+	Status int32
+
+	// Fetch overlay: the Wurster et al. split-cache view. When armed,
+	// instruction fetches in the overlaid range see these bytes while
+	// data reads see the underlying memory.
+	overlay     map[uint32]byte
+	decodeCache map[uint32]x86.Inst
+	codeVersion uint64
+	cacheVer    uint64
+
+	// Optional per-address execution profile (instruction hit counts).
+	profile map[uint32]uint64
+}
+
+// DefaultMaxInst bounds runaway programs.
+const DefaultMaxInst = 500_000_000
+
+// New returns a CPU over an empty address space.
+func New() *CPU {
+	return &CPU{Mem: NewMemory(), decodeCache: make(map[uint32]x86.Inst)}
+}
+
+// LoadImage maps every section of img and a stack, and prepares the CPU
+// to run from the image entry point: ESP points below ExitSentinel so
+// that a final return ends the program.
+func LoadImage(img *image.Image) (*CPU, error) {
+	c := New()
+	for _, s := range img.Sections {
+		seg, err := c.Mem.Map(s.Name, s.Addr, s.Size, s.Perm)
+		if err != nil {
+			return nil, err
+		}
+		copy(seg.Data, s.Data)
+	}
+	if _, err := c.Mem.Map("[stack]", DefaultStackTop-DefaultStackSize, DefaultStackSize,
+		image.PermR|image.PermW); err != nil {
+		return nil, err
+	}
+	c.Reg[x86.ESP] = DefaultStackTop - 16
+	if err := c.push32(ExitSentinel); err != nil {
+		return nil, err
+	}
+	c.EIP = img.Entry
+	return c, nil
+}
+
+// EnableProfile turns on per-address instruction hit counting.
+func (c *CPU) EnableProfile() { c.profile = make(map[uint32]uint64) }
+
+// Profile returns the per-address hit counts (nil unless EnableProfile
+// was called).
+func (c *CPU) Profile() map[uint32]uint64 { return c.profile }
+
+// SetOverlay arms the fetch overlay with the given bytes at addr,
+// leaving data reads untouched. This is the Wurster et al. attack
+// primitive.
+func (c *CPU) SetOverlay(addr uint32, b []byte) {
+	if c.overlay == nil {
+		c.overlay = make(map[uint32]byte)
+	}
+	for i, v := range b {
+		c.overlay[addr+uint32(i)] = v
+	}
+	c.codeVersion++
+}
+
+// ClearOverlay disarms the fetch overlay.
+func (c *CPU) ClearOverlay() {
+	c.overlay = nil
+	c.codeVersion++
+}
+
+// InvalidateCode must be called after out-of-band modification of
+// executable bytes (Memory.Poke into text) so stale decodes are
+// discarded.
+func (c *CPU) InvalidateCode() { c.codeVersion++ }
+
+// fetchWindow returns up to 15 instruction bytes at addr as seen by the
+// fetch unit (overlay first, then memory).
+func (c *CPU) fetchWindow(addr uint32) ([]byte, error) {
+	// Permission check on the first byte; the remaining window bytes
+	// stay within the same segment by construction below.
+	if _, err := c.Mem.check(addr, 1, AccessFetch, c.EIP); err != nil {
+		return nil, err
+	}
+	seg := c.Mem.Segment(addr)
+	off := addr - seg.Addr
+	end := off + 15
+	if end > uint32(len(seg.Data)) {
+		end = uint32(len(seg.Data))
+	}
+	window := append([]byte(nil), seg.Data[off:end]...)
+	if c.overlay != nil {
+		for i := range window {
+			if v, ok := c.overlay[addr+uint32(i)]; ok {
+				window[i] = v
+			}
+		}
+	}
+	return window, nil
+}
+
+// decode returns the instruction at EIP, consulting the decode cache.
+func (c *CPU) decode() (x86.Inst, error) {
+	if c.cacheVer != c.codeVersion {
+		c.decodeCache = make(map[uint32]x86.Inst)
+		c.cacheVer = c.codeVersion
+	}
+	if inst, ok := c.decodeCache[c.EIP]; ok {
+		return inst, nil
+	}
+	window, err := c.fetchWindow(c.EIP)
+	if err != nil {
+		return x86.Inst{}, err
+	}
+	inst, err := x86.Decode(window, c.EIP)
+	if err != nil {
+		return x86.Inst{}, &DecodeFault{EIP: c.EIP, Err: err}
+	}
+	c.decodeCache[c.EIP] = inst
+	return inst, nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Exited {
+		return nil
+	}
+	inst, err := c.decode()
+	if err != nil {
+		return err
+	}
+	if c.profile != nil {
+		c.profile[c.EIP]++
+	}
+	c.Icount++
+	return c.exec(inst)
+}
+
+// Run executes until the program exits, faults, or hits the instruction
+// budget.
+func (c *CPU) Run() error {
+	limit := c.MaxInst
+	if limit == 0 {
+		limit = DefaultMaxInst
+	}
+	for !c.Exited {
+		if c.Icount >= limit {
+			return fmt.Errorf("%w (%d instructions, eip=%#x)", ErrInstLimit, c.Icount, c.EIP)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunImage is a convenience wrapper: load, run, and return the CPU for
+// inspection. The error (if any) accompanies the partially-run CPU.
+func RunImage(img *image.Image, os Kernel) (*CPU, error) {
+	c, err := LoadImage(img)
+	if err != nil {
+		return nil, err
+	}
+	c.OS = os
+	err = c.Run()
+	return c, err
+}
+
+func (c *CPU) push32(v uint32) error {
+	c.Reg[x86.ESP] -= 4
+	return c.Mem.Store32(c.Reg[x86.ESP], v, c.EIP)
+}
+
+func (c *CPU) pop32() (uint32, error) {
+	v, err := c.Mem.Load32(c.Reg[x86.ESP], c.EIP)
+	if err != nil {
+		return 0, err
+	}
+	c.Reg[x86.ESP] += 4
+	return v, nil
+}
+
+// Flags packs the modeled EFLAGS bits into the architectural layout
+// (bit 1 always set).
+func (c *CPU) Flags() uint32 {
+	f := uint32(1 << 1)
+	set := func(cond bool, bit uint32) {
+		if cond {
+			f |= bit
+		}
+	}
+	set(c.CF, 1<<0)
+	set(c.PF, 1<<2)
+	set(c.AF, 1<<4)
+	set(c.ZF, 1<<6)
+	set(c.SF, 1<<7)
+	set(c.DF, 1<<10)
+	set(c.OF, 1<<11)
+	return f
+}
+
+// SetFlags unpacks an architectural EFLAGS dword.
+func (c *CPU) SetFlags(f uint32) {
+	c.CF = f&(1<<0) != 0
+	c.PF = f&(1<<2) != 0
+	c.AF = f&(1<<4) != 0
+	c.ZF = f&(1<<6) != 0
+	c.SF = f&(1<<7) != 0
+	c.DF = f&(1<<10) != 0
+	c.OF = f&(1<<11) != 0
+}
+
+// Cond evaluates an x86 condition code against the current flags.
+func (c *CPU) Cond(cc x86.Cond) bool {
+	var v bool
+	switch cc &^ 1 {
+	case x86.CondO:
+		v = c.OF
+	case x86.CondB:
+		v = c.CF
+	case x86.CondE:
+		v = c.ZF
+	case x86.CondBE:
+		v = c.CF || c.ZF
+	case x86.CondS:
+		v = c.SF
+	case x86.CondP:
+		v = c.PF
+	case x86.CondL:
+		v = c.SF != c.OF
+	case x86.CondLE:
+		v = c.ZF || (c.SF != c.OF)
+	}
+	if cc&1 != 0 {
+		v = !v
+	}
+	return v
+}
+
+// String renders the register state for debugging.
+func (c *CPU) String() string {
+	return fmt.Sprintf(
+		"eax=%08x ebx=%08x ecx=%08x edx=%08x esi=%08x edi=%08x ebp=%08x esp=%08x eip=%08x "+
+			"[cf=%t zf=%t sf=%t of=%t]",
+		c.Reg[x86.EAX], c.Reg[x86.EBX], c.Reg[x86.ECX], c.Reg[x86.EDX],
+		c.Reg[x86.ESI], c.Reg[x86.EDI], c.Reg[x86.EBP], c.Reg[x86.ESP], c.EIP,
+		c.CF, c.ZF, c.SF, c.OF)
+}

@@ -1,0 +1,849 @@
+package emu
+
+import (
+	"fmt"
+
+	"parallax/internal/x86"
+)
+
+func widthMask(w uint8) uint32 {
+	switch w {
+	case 8:
+		return 0xFF
+	case 16:
+		return 0xFFFF
+	default:
+		return 0xFFFFFFFF
+	}
+}
+
+func signBit(w uint8) uint32 { return 1 << (w - 1) }
+
+// reg8 returns the value of an 8-bit register by ModRM index
+// (AL,CL,DL,BL,AH,CH,DH,BH).
+func (c *CPU) reg8(r x86.Reg) uint32 {
+	if r < 4 {
+		return c.Reg[r] & 0xFF
+	}
+	return (c.Reg[r-4] >> 8) & 0xFF
+}
+
+func (c *CPU) setReg8(r x86.Reg, v uint32) {
+	v &= 0xFF
+	if r < 4 {
+		c.Reg[r] = c.Reg[r]&^uint32(0xFF) | v
+	} else {
+		c.Reg[r-4] = c.Reg[r-4]&^uint32(0xFF00) | v<<8
+	}
+}
+
+func (c *CPU) regRead(r x86.Reg, w uint8) uint32 {
+	switch w {
+	case 8:
+		return c.reg8(r)
+	case 16:
+		return c.Reg[r] & 0xFFFF
+	default:
+		return c.Reg[r]
+	}
+}
+
+func (c *CPU) regWrite(r x86.Reg, w uint8, v uint32) {
+	switch w {
+	case 8:
+		c.setReg8(r, v)
+	case 16:
+		c.Reg[r] = c.Reg[r]&^uint32(0xFFFF) | v&0xFFFF
+	default:
+		c.Reg[r] = v
+	}
+}
+
+// effAddr computes the effective address of a memory operand.
+func (c *CPU) effAddr(o x86.Operand) uint32 {
+	a := uint32(o.Disp)
+	if o.HasBase {
+		a += c.Reg[o.Base]
+	}
+	if o.HasIndex {
+		a += c.Reg[o.Index] * uint32(o.Scale)
+	}
+	return a
+}
+
+// readOp reads an operand value at the given width.
+func (c *CPU) readOp(o x86.Operand, w uint8) (uint32, error) {
+	switch o.Kind {
+	case x86.KReg:
+		return c.regRead(o.Reg, w), nil
+	case x86.KImm:
+		return uint32(o.Imm) & widthMask(w), nil
+	case x86.KMem:
+		addr := c.effAddr(o)
+		switch w {
+		case 8:
+			v, err := c.Mem.Load8(addr, c.EIP)
+			return uint32(v), err
+		case 16:
+			v, err := c.Mem.Load16(addr, c.EIP)
+			return uint32(v), err
+		default:
+			return c.Mem.Load32(addr, c.EIP)
+		}
+	default:
+		return 0, fmt.Errorf("emu: read of empty operand at eip=%#x", c.EIP)
+	}
+}
+
+// writeOp writes an operand at the given width.
+func (c *CPU) writeOp(o x86.Operand, w uint8, v uint32) error {
+	switch o.Kind {
+	case x86.KReg:
+		c.regWrite(o.Reg, w, v)
+		return nil
+	case x86.KMem:
+		addr := c.effAddr(o)
+		switch w {
+		case 8:
+			return c.Mem.Store8(addr, uint8(v), c.EIP)
+		case 16:
+			return c.Mem.Store16(addr, uint16(v), c.EIP)
+		default:
+			return c.Mem.Store32(addr, v, c.EIP)
+		}
+	default:
+		return fmt.Errorf("emu: write to non-writable operand at eip=%#x", c.EIP)
+	}
+}
+
+func parity8(v uint32) bool {
+	v &= 0xFF
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 0
+}
+
+// setSZP sets the sign/zero/parity flags from a result.
+func (c *CPU) setSZP(v uint32, w uint8) {
+	v &= widthMask(w)
+	c.ZF = v == 0
+	c.SF = v&signBit(w) != 0
+	c.PF = parity8(v)
+}
+
+// addFlags computes a+b(+carry) and sets CF/OF/AF/SZP.
+func (c *CPU) addFlags(a, b uint32, carry bool, w uint8) uint32 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	cin := uint32(0)
+	if carry {
+		cin = 1
+	}
+	r64 := uint64(a) + uint64(b) + uint64(cin)
+	r := uint32(r64) & mask
+	c.CF = r64 > uint64(mask)
+	c.OF = (^(a ^ b) & (a ^ r) & signBit(w)) != 0
+	c.AF = ((a ^ b ^ r) & 0x10) != 0
+	c.setSZP(r, w)
+	return r
+}
+
+// subFlags computes a-b(-borrow) and sets CF/OF/AF/SZP.
+func (c *CPU) subFlags(a, b uint32, borrow bool, w uint8) uint32 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	bin := uint32(0)
+	if borrow {
+		bin = 1
+	}
+	r := (a - b - bin) & mask
+	c.CF = uint64(a) < uint64(b)+uint64(bin)
+	c.OF = ((a ^ b) & (a ^ r) & signBit(w)) != 0
+	c.AF = ((a ^ b ^ r) & 0x10) != 0
+	c.setSZP(r, w)
+	return r
+}
+
+// logicFlags sets flags for AND/OR/XOR/TEST results.
+func (c *CPU) logicFlags(r uint32, w uint8) {
+	c.CF = false
+	c.OF = false
+	c.AF = false
+	c.setSZP(r, w)
+}
+
+// exec dispatches one decoded instruction. On return EIP points at the
+// next instruction (or the control transfer target).
+func (c *CPU) exec(inst x86.Inst) error {
+	next := c.EIP + uint32(inst.Len)
+	c.Cycles += cost(&inst)
+
+	switch inst.Op {
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.CMP:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		b, err := c.readOp(inst.Src, inst.W)
+		if err != nil {
+			return err
+		}
+		var r uint32
+		switch inst.Op {
+		case x86.ADD:
+			r = c.addFlags(a, b, false, inst.W)
+		case x86.ADC:
+			r = c.addFlags(a, b, c.CF, inst.W)
+		case x86.SUB, x86.CMP:
+			r = c.subFlags(a, b, false, inst.W)
+		case x86.SBB:
+			r = c.subFlags(a, b, c.CF, inst.W)
+		}
+		if inst.Op != x86.CMP {
+			if err := c.writeOp(inst.Dst, inst.W, r); err != nil {
+				return err
+			}
+		}
+
+	case x86.AND, x86.OR, x86.XOR, x86.TEST:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		b, err := c.readOp(inst.Src, inst.W)
+		if err != nil {
+			return err
+		}
+		var r uint32
+		switch inst.Op {
+		case x86.AND, x86.TEST:
+			r = a & b
+		case x86.OR:
+			r = a | b
+		case x86.XOR:
+			r = a ^ b
+		}
+		r &= widthMask(inst.W)
+		c.logicFlags(r, inst.W)
+		if inst.Op != x86.TEST {
+			if err := c.writeOp(inst.Dst, inst.W, r); err != nil {
+				return err
+			}
+		}
+
+	case x86.MOV:
+		v, err := c.readOp(inst.Src, inst.W)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOp(inst.Dst, inst.W, v); err != nil {
+			return err
+		}
+
+	case x86.XCHG:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		b, err := c.readOp(inst.Src, inst.W)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOp(inst.Dst, inst.W, b); err != nil {
+			return err
+		}
+		if err := c.writeOp(inst.Src, inst.W, a); err != nil {
+			return err
+		}
+
+	case x86.LEA:
+		c.regWrite(inst.Dst.Reg, 32, c.effAddr(inst.Src))
+
+	case x86.PUSH:
+		v, err := c.readOp(inst.Dst, 32)
+		if err != nil {
+			return err
+		}
+		if err := c.push32(v); err != nil {
+			return err
+		}
+
+	case x86.POP:
+		v, err := c.pop32()
+		if err != nil {
+			return err
+		}
+		// A memory destination uses ESP *after* the increment.
+		if err := c.writeOp(inst.Dst, 32, v); err != nil {
+			return err
+		}
+
+	case x86.INC, x86.DEC:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		savedCF := c.CF
+		var r uint32
+		if inst.Op == x86.INC {
+			r = c.addFlags(a, 1, false, inst.W)
+		} else {
+			r = c.subFlags(a, 1, false, inst.W)
+		}
+		c.CF = savedCF // INC/DEC preserve CF
+		if err := c.writeOp(inst.Dst, inst.W, r); err != nil {
+			return err
+		}
+
+	case x86.NOT:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOp(inst.Dst, inst.W, ^a&widthMask(inst.W)); err != nil {
+			return err
+		}
+
+	case x86.NEG:
+		a, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		r := c.subFlags(0, a, false, inst.W)
+		c.CF = a&widthMask(inst.W) != 0
+		if err := c.writeOp(inst.Dst, inst.W, r); err != nil {
+			return err
+		}
+
+	case x86.MUL, x86.IMUL:
+		if err := c.execMul(inst); err != nil {
+			return err
+		}
+
+	case x86.DIV, x86.IDIV:
+		if err := c.execDiv(inst); err != nil {
+			return err
+		}
+
+	case x86.ROL, x86.ROR, x86.RCL, x86.RCR, x86.SHL, x86.SAL, x86.SHR, x86.SAR:
+		if err := c.execShift(inst); err != nil {
+			return err
+		}
+
+	case x86.MOVZX, x86.MOVSX:
+		v, err := c.readOp(inst.Src, inst.W)
+		if err != nil {
+			return err
+		}
+		if inst.Op == x86.MOVSX && v&signBit(inst.W) != 0 {
+			v |= ^widthMask(inst.W)
+		}
+		c.regWrite(inst.Dst.Reg, 32, v)
+
+	case x86.CALL:
+		target, err := c.branchTarget(inst)
+		if err != nil {
+			return err
+		}
+		if err := c.push32(next); err != nil {
+			return err
+		}
+		c.EIP = target
+		return c.checkSentinel()
+
+	case x86.JMP:
+		target, err := c.branchTarget(inst)
+		if err != nil {
+			return err
+		}
+		c.EIP = target
+		return c.checkSentinel()
+
+	case x86.JCC:
+		if c.Cond(inst.Cond) {
+			c.EIP = inst.Target
+			return nil
+		}
+
+	case x86.SETCC:
+		v := uint32(0)
+		if c.Cond(inst.Cond) {
+			v = 1
+		}
+		if err := c.writeOp(inst.Dst, 8, v); err != nil {
+			return err
+		}
+
+	case x86.RET:
+		ret, err := c.pop32()
+		if err != nil {
+			return err
+		}
+		c.Reg[x86.ESP] += uint32(uint16(inst.Imm))
+		if c.RetHook != nil {
+			c.RetHook(c.EIP, ret)
+		}
+		c.EIP = ret
+		return c.checkSentinel()
+
+	case x86.RETF:
+		ret, err := c.pop32()
+		if err != nil {
+			return err
+		}
+		if _, err := c.pop32(); err != nil { // discard CS
+			return err
+		}
+		c.Reg[x86.ESP] += uint32(uint16(inst.Imm))
+		if c.RetHook != nil {
+			c.RetHook(c.EIP, ret)
+		}
+		c.EIP = ret
+		return c.checkSentinel()
+
+	case x86.LEAVE:
+		c.Reg[x86.ESP] = c.Reg[x86.EBP]
+		v, err := c.pop32()
+		if err != nil {
+			return err
+		}
+		c.Reg[x86.EBP] = v
+
+	case x86.NOP:
+
+	case x86.HLT:
+		return ErrHalted
+
+	case x86.INT3:
+		return ErrBreakpoint
+
+	case x86.INT:
+		if uint8(inst.Imm) != 0x80 || c.OS == nil {
+			return fmt.Errorf("emu: unhandled int %#x at eip=%#x", uint8(inst.Imm), c.EIP)
+		}
+		c.EIP = next // syscalls observe the post-instruction EIP
+		return c.OS.Syscall(c)
+
+	case x86.PUSHAD:
+		sp := c.Reg[x86.ESP]
+		order := []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBX, x86.ESP, x86.EBP, x86.ESI, x86.EDI}
+		for _, r := range order {
+			v := c.Reg[r]
+			if r == x86.ESP {
+				v = sp
+			}
+			if err := c.push32(v); err != nil {
+				return err
+			}
+		}
+
+	case x86.POPAD:
+		order := []x86.Reg{x86.EDI, x86.ESI, x86.EBP, x86.ESP, x86.EBX, x86.EDX, x86.ECX, x86.EAX}
+		for _, r := range order {
+			v, err := c.pop32()
+			if err != nil {
+				return err
+			}
+			if r != x86.ESP { // ESP value is discarded
+				c.Reg[r] = v
+			}
+		}
+
+	case x86.PUSHFD:
+		if err := c.push32(c.Flags()); err != nil {
+			return err
+		}
+
+	case x86.POPFD:
+		v, err := c.pop32()
+		if err != nil {
+			return err
+		}
+		c.SetFlags(v)
+
+	case x86.LAHF:
+		var ah uint32 = 1 << 1
+		if c.CF {
+			ah |= 1 << 0
+		}
+		if c.PF {
+			ah |= 1 << 2
+		}
+		if c.AF {
+			ah |= 1 << 4
+		}
+		if c.ZF {
+			ah |= 1 << 6
+		}
+		if c.SF {
+			ah |= 1 << 7
+		}
+		c.setReg8(x86.AH, ah)
+
+	case x86.SAHF:
+		ah := c.reg8(x86.AH)
+		c.CF = ah&(1<<0) != 0
+		c.PF = ah&(1<<2) != 0
+		c.AF = ah&(1<<4) != 0
+		c.ZF = ah&(1<<6) != 0
+		c.SF = ah&(1<<7) != 0
+
+	case x86.CDQ:
+		if c.Reg[x86.EAX]&(1<<31) != 0 {
+			c.Reg[x86.EDX] = 0xFFFFFFFF
+		} else {
+			c.Reg[x86.EDX] = 0
+		}
+
+	case x86.CWDE:
+		v := c.Reg[x86.EAX] & 0xFFFF
+		if v&(1<<15) != 0 {
+			v |= 0xFFFF0000
+		}
+		c.Reg[x86.EAX] = v
+
+	case x86.CLC:
+		c.CF = false
+	case x86.STC:
+		c.CF = true
+	case x86.CMC:
+		c.CF = !c.CF
+	case x86.CLD:
+		c.DF = false
+	case x86.STD:
+		c.DF = true
+
+	case x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS:
+		if err := c.execString(inst); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("emu: unimplemented op %v at eip=%#x", inst.Op, c.EIP)
+	}
+
+	c.EIP = next
+	return nil
+}
+
+// branchTarget resolves the destination of a CALL/JMP.
+func (c *CPU) branchTarget(inst x86.Inst) (uint32, error) {
+	if inst.Rel {
+		return inst.Target, nil
+	}
+	return c.readOp(inst.Dst, 32)
+}
+
+// checkSentinel ends the run when control returns to the exit sentinel.
+func (c *CPU) checkSentinel() error {
+	if c.EIP == ExitSentinel {
+		c.Exited = true
+		c.Status = int32(c.Reg[x86.EAX])
+	}
+	return nil
+}
+
+func (c *CPU) execMul(inst x86.Inst) error {
+	// One-operand forms multiply into EDX:EAX (or AX for width 8).
+	if inst.Src.Kind == x86.KNone && !inst.HasImm {
+		v, err := c.readOp(inst.Dst, inst.W)
+		if err != nil {
+			return err
+		}
+		switch inst.W {
+		case 8:
+			var r uint32
+			if inst.Op == x86.MUL {
+				r = (c.Reg[x86.EAX] & 0xFF) * v
+				c.CF = r > 0xFF
+			} else {
+				r = uint32(int32(int8(c.Reg[x86.EAX])) * int32(int8(v)))
+				c.CF = int32(int16(r)) != int32(int8(r))
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | r&0xFFFF
+			c.OF = c.CF
+		default:
+			a := uint64(c.Reg[x86.EAX])
+			if inst.Op == x86.MUL {
+				r := a * uint64(v)
+				c.Reg[x86.EAX] = uint32(r)
+				c.Reg[x86.EDX] = uint32(r >> 32)
+				c.CF = c.Reg[x86.EDX] != 0
+			} else {
+				r := int64(int32(a)) * int64(int32(v))
+				c.Reg[x86.EAX] = uint32(r)
+				c.Reg[x86.EDX] = uint32(uint64(r) >> 32)
+				c.CF = r != int64(int32(r))
+			}
+			c.OF = c.CF
+		}
+		// SF/ZF/PF are architecturally undefined after MUL; we define
+		// them from the low result for determinism.
+		c.setSZP(c.Reg[x86.EAX], 32)
+		return nil
+	}
+
+	// Two- and three-operand IMUL: truncated signed multiply into a
+	// register.
+	a, err := c.readOp(inst.Src, inst.W)
+	if err != nil {
+		return err
+	}
+	var b uint32
+	if inst.HasImm {
+		b = uint32(inst.Imm)
+	} else {
+		b = c.regRead(inst.Dst.Reg, inst.W)
+	}
+	r := int64(int32(a)) * int64(int32(b))
+	c.regWrite(inst.Dst.Reg, inst.W, uint32(r))
+	c.CF = r != int64(int32(r))
+	c.OF = c.CF
+	c.setSZP(uint32(r), inst.W)
+	return nil
+}
+
+func (c *CPU) execDiv(inst x86.Inst) error {
+	v, err := c.readOp(inst.Dst, inst.W)
+	if err != nil {
+		return err
+	}
+	if v&widthMask(inst.W) == 0 {
+		return &DivideError{EIP: c.EIP}
+	}
+	switch inst.W {
+	case 8:
+		dividend := c.Reg[x86.EAX] & 0xFFFF
+		if inst.Op == x86.DIV {
+			q := dividend / v
+			rem := dividend % v
+			if q > 0xFF {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | rem<<8 | q
+		} else {
+			d := int32(int16(dividend))
+			s := int32(int8(v))
+			q := d / s
+			rem := d % s
+			if q > 127 || q < -128 {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) |
+				uint32(uint8(rem))<<8 | uint32(uint8(q))
+		}
+	default:
+		dividend := uint64(c.Reg[x86.EDX])<<32 | uint64(c.Reg[x86.EAX])
+		if inst.Op == x86.DIV {
+			q := dividend / uint64(v)
+			rem := dividend % uint64(v)
+			if q > 0xFFFFFFFF {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = uint32(q)
+			c.Reg[x86.EDX] = uint32(rem)
+		} else {
+			d := int64(dividend)
+			s := int64(int32(v))
+			q := d / s
+			rem := d % s
+			if q > 0x7FFFFFFF || q < -0x80000000 {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = uint32(q)
+			c.Reg[x86.EDX] = uint32(rem)
+		}
+	}
+	return nil
+}
+
+func (c *CPU) execShift(inst x86.Inst) error {
+	a, err := c.readOp(inst.Dst, inst.W)
+	if err != nil {
+		return err
+	}
+	countV, err := c.readOp(inst.Src, 8)
+	if err != nil {
+		return err
+	}
+	count := countV & 31
+	if count == 0 {
+		return nil // flags unchanged
+	}
+	w := inst.W
+	mask := widthMask(w)
+	bits := uint32(w)
+	a &= mask
+	var r uint32
+	switch inst.Op {
+	case x86.SHL, x86.SAL:
+		if count <= bits {
+			c.CF = a&(1<<(bits-count)) != 0
+		} else {
+			c.CF = false
+		}
+		r = (a << count) & mask
+		c.OF = (r&signBit(w) != 0) != c.CF
+		c.setSZP(r, w)
+	case x86.SHR:
+		if count <= bits {
+			c.CF = a&(1<<(count-1)) != 0
+		} else {
+			c.CF = false
+		}
+		r = a >> count
+		c.OF = a&signBit(w) != 0
+		c.setSZP(r, w)
+	case x86.SAR:
+		sa := int32(a << (32 - bits)) // sign-position-normalize
+		r = uint32(sa>>(32-bits)>>min32(count, 31)) & mask
+		c.CF = count <= bits && (a>>(count-1))&1 != 0
+		if count > bits {
+			c.CF = a&signBit(w) != 0
+		}
+		c.OF = false
+		c.setSZP(r, w)
+	case x86.ROL:
+		n := count % bits
+		r = (a<<n | a>>(bits-n)) & mask
+		if n == 0 {
+			r = a
+		}
+		c.CF = r&1 != 0
+		c.OF = (r&signBit(w) != 0) != c.CF
+	case x86.ROR:
+		n := count % bits
+		r = (a>>n | a<<(bits-n)) & mask
+		if n == 0 {
+			r = a
+		}
+		c.CF = r&signBit(w) != 0
+		c.OF = (r&signBit(w) != 0) != ((r<<1)&signBit(w) != 0)
+	case x86.RCL:
+		r = a
+		for i := uint32(0); i < count%(bits+1); i++ {
+			hi := r&signBit(w) != 0
+			r = (r << 1) & mask
+			if c.CF {
+				r |= 1
+			}
+			c.CF = hi
+		}
+		c.OF = (r&signBit(w) != 0) != c.CF
+	case x86.RCR:
+		r = a
+		for i := uint32(0); i < count%(bits+1); i++ {
+			lo := r&1 != 0
+			r >>= 1
+			if c.CF {
+				r |= signBit(w)
+			}
+			c.CF = lo
+		}
+		c.OF = (r&signBit(w) != 0) != ((r&signBit(w) != 0) != (r&(signBit(w)>>1) != 0))
+	}
+	return c.writeOp(inst.Dst, w, r)
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stringStep is the per-element pointer adjustment for string ops.
+func (c *CPU) stringStep(w uint8) uint32 {
+	n := uint32(w / 8)
+	if c.DF {
+		return -n & 0xFFFFFFFF
+	}
+	return n
+}
+
+// maxRepIterations bounds a single REP so a corrupted ECX cannot hang
+// the emulator for the full address space.
+const maxRepIterations = 1 << 24
+
+func (c *CPU) execString(inst x86.Inst) error {
+	w := inst.W
+	step := c.stringStep(w)
+	one := func() (bool, error) { // returns done-for-scan
+		var err error
+		switch inst.Op {
+		case x86.MOVS:
+			var v uint32
+			v, err = c.readOp(x86.MemOp(x86.ESI, 0), w)
+			if err != nil {
+				return false, err
+			}
+			err = c.writeOp(x86.MemOp(x86.EDI, 0), w, v)
+			c.Reg[x86.ESI] += step
+			c.Reg[x86.EDI] += step
+		case x86.STOS:
+			err = c.writeOp(x86.MemOp(x86.EDI, 0), w, c.regRead(x86.EAX, w))
+			c.Reg[x86.EDI] += step
+		case x86.LODS:
+			var v uint32
+			v, err = c.readOp(x86.MemOp(x86.ESI, 0), w)
+			if err != nil {
+				return false, err
+			}
+			c.regWrite(x86.EAX, w, v)
+			c.Reg[x86.ESI] += step
+		case x86.SCAS:
+			var v uint32
+			v, err = c.readOp(x86.MemOp(x86.EDI, 0), w)
+			if err != nil {
+				return false, err
+			}
+			c.subFlags(c.regRead(x86.EAX, w), v, false, w)
+			c.Reg[x86.EDI] += step
+			return true, nil
+		case x86.CMPS:
+			var a, b uint32
+			a, err = c.readOp(x86.MemOp(x86.ESI, 0), w)
+			if err != nil {
+				return false, err
+			}
+			b, err = c.readOp(x86.MemOp(x86.EDI, 0), w)
+			if err != nil {
+				return false, err
+			}
+			c.subFlags(a, b, false, w)
+			c.Reg[x86.ESI] += step
+			c.Reg[x86.EDI] += step
+			return true, nil
+		}
+		return false, err
+	}
+
+	if !inst.Rep && !inst.RepNE {
+		_, err := one()
+		return err
+	}
+	iters := 0
+	for c.Reg[x86.ECX] != 0 {
+		if iters++; iters > maxRepIterations {
+			return fmt.Errorf("emu: rep iteration bound exceeded at eip=%#x", c.EIP)
+		}
+		compares, err := one()
+		if err != nil {
+			return err
+		}
+		c.Reg[x86.ECX]--
+		c.Cycles += 2
+		if compares {
+			if inst.Rep && !c.ZF { // repe: stop when not equal
+				break
+			}
+			if inst.RepNE && c.ZF { // repne: stop when equal
+				break
+			}
+		}
+	}
+	return nil
+}

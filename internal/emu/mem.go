@@ -1,0 +1,242 @@
+// Package emu implements a 32-bit x86 interpreter: registers, EFLAGS,
+// a segmented flat memory bus, Linux-style int 0x80 system calls, and
+// deterministic instruction/cycle accounting.
+//
+// The emulator is the testbed substituting for the paper's real
+// hardware: ROP chains, stack pivots and tampered gadgets execute here
+// exactly as encoded byte streams, so integrity violations manifest as
+// genuine malfunctions (wrong results, decode faults, memory faults)
+// rather than simulated flags.
+//
+// The bus distinguishes instruction fetches from data reads and supports
+// a fetch overlay, reproducing the split instruction-/data-cache view
+// exploited by the Wurster et al. attack on checksumming schemes.
+package emu
+
+import (
+	"fmt"
+
+	"parallax/internal/image"
+)
+
+// Access is a memory access flavor.
+type Access uint8
+
+// Access flavors.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return "fetch"
+	}
+}
+
+// FaultError is a memory access violation.
+type FaultError struct {
+	Addr   uint32
+	EIP    uint32
+	Access Access
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("emu: %s fault at %#x (eip=%#x): %s", e.Access, e.Addr, e.EIP, e.Reason)
+}
+
+// Segment is one mapped address range.
+type Segment struct {
+	Name string
+	Addr uint32
+	Data []byte
+	Perm image.Perm
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint32 { return s.Addr + uint32(len(s.Data)) }
+
+// Memory is a flat 32-bit address space composed of non-overlapping
+// segments.
+type Memory struct {
+	segs []*Segment
+	last *Segment // single-entry lookup cache
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{} }
+
+// Map adds a segment. Overlapping an existing segment is an error.
+func (m *Memory) Map(name string, addr uint32, size uint32, perm image.Perm) (*Segment, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("emu: segment %q has zero size", name)
+	}
+	if addr+size < addr {
+		return nil, fmt.Errorf("emu: segment %q wraps the address space", name)
+	}
+	for _, s := range m.segs {
+		if addr < s.End() && s.Addr < addr+size {
+			return nil, fmt.Errorf("emu: segment %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				name, addr, addr+size, s.Name, s.Addr, s.End())
+		}
+	}
+	seg := &Segment{Name: name, Addr: addr, Data: make([]byte, size), Perm: perm}
+	m.segs = append(m.segs, seg)
+	return seg, nil
+}
+
+// Segment returns the segment containing addr, or nil.
+func (m *Memory) Segment(addr uint32) *Segment {
+	if s := m.last; s != nil && addr >= s.Addr && addr < s.End() {
+		return s
+	}
+	for _, s := range m.segs {
+		if addr >= s.Addr && addr < s.End() {
+			m.last = s
+			return s
+		}
+	}
+	return nil
+}
+
+// SegmentByName returns the named segment, or nil.
+func (m *Memory) SegmentByName(name string) *Segment {
+	for _, s := range m.segs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func permFor(a Access) image.Perm {
+	switch a {
+	case AccessRead:
+		return image.PermR
+	case AccessWrite:
+		return image.PermW
+	default:
+		return image.PermX
+	}
+}
+
+// check resolves addr..addr+n-1 for the given access, returning the
+// segment-relative slice.
+func (m *Memory) check(addr uint32, n uint32, access Access, eip uint32) ([]byte, error) {
+	s := m.Segment(addr)
+	if s == nil {
+		return nil, &FaultError{Addr: addr, EIP: eip, Access: access, Reason: "unmapped"}
+	}
+	if addr+n > s.End() || addr+n < addr {
+		return nil, &FaultError{Addr: addr, EIP: eip, Access: access,
+			Reason: "crosses segment boundary"}
+	}
+	if s.Perm&permFor(access) == 0 {
+		return nil, &FaultError{Addr: addr, EIP: eip, Access: access,
+			Reason: fmt.Sprintf("segment %s is %s", s.Name, s.Perm)}
+	}
+	off := addr - s.Addr
+	return s.Data[off : off+n], nil
+}
+
+// Read copies n bytes at addr as a data read.
+func (m *Memory) Read(addr, n uint32, eip uint32) ([]byte, error) {
+	b, err := m.check(addr, n, AccessRead, eip)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Load32 reads a little-endian dword.
+func (m *Memory) Load32(addr uint32, eip uint32) (uint32, error) {
+	b, err := m.check(addr, 4, AccessRead, eip)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Load16 reads a little-endian word.
+func (m *Memory) Load16(addr uint32, eip uint32) (uint16, error) {
+	b, err := m.check(addr, 2, AccessRead, eip)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+// Load8 reads a byte.
+func (m *Memory) Load8(addr uint32, eip uint32) (uint8, error) {
+	b, err := m.check(addr, 1, AccessRead, eip)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Store32 writes a little-endian dword.
+func (m *Memory) Store32(addr uint32, v uint32, eip uint32) error {
+	b, err := m.check(addr, 4, AccessWrite, eip)
+	if err != nil {
+		return err
+	}
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// Store16 writes a little-endian word.
+func (m *Memory) Store16(addr uint32, v uint16, eip uint32) error {
+	b, err := m.check(addr, 2, AccessWrite, eip)
+	if err != nil {
+		return err
+	}
+	b[0], b[1] = byte(v), byte(v>>8)
+	return nil
+}
+
+// Store8 writes a byte.
+func (m *Memory) Store8(addr uint32, v uint8, eip uint32) error {
+	b, err := m.check(addr, 1, AccessWrite, eip)
+	if err != nil {
+		return err
+	}
+	b[0] = v
+	return nil
+}
+
+// Poke writes bytes ignoring permissions. It models out-of-band
+// modification: a debugger poking text, or an attacker patching the
+// binary on disk. Returns an error only for unmapped addresses.
+func (m *Memory) Poke(addr uint32, b []byte) error {
+	for i, v := range b {
+		a := addr + uint32(i)
+		s := m.Segment(a)
+		if s == nil {
+			return &FaultError{Addr: a, Access: AccessWrite, Reason: "unmapped (poke)"}
+		}
+		s.Data[a-s.Addr] = v
+	}
+	return nil
+}
+
+// Peek reads bytes ignoring permissions.
+func (m *Memory) Peek(addr uint32, n uint32) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		a := addr + uint32(i)
+		s := m.Segment(a)
+		if s == nil {
+			return nil, &FaultError{Addr: a, Access: AccessRead, Reason: "unmapped (peek)"}
+		}
+		out[i] = s.Data[a-s.Addr]
+	}
+	return out, nil
+}

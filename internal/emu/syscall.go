@@ -1,0 +1,195 @@
+package emu
+
+import (
+	"bytes"
+	"fmt"
+
+	"parallax/internal/x86"
+)
+
+// Kernel handles int 0x80 system calls. Arguments follow the Linux
+// i386 convention: EAX holds the syscall number, EBX/ECX/EDX/ESI/EDI
+// the arguments, and the result is returned in EAX (negative errno on
+// failure).
+type Kernel interface {
+	Syscall(c *CPU) error
+}
+
+// Linux i386 syscall numbers used by this repository's programs.
+const (
+	SysExit    = 1
+	SysRead    = 3
+	SysWrite   = 4
+	SysTime    = 13
+	SysGetpid  = 20
+	SysPtrace  = 26
+	SysGetrand = 355 // getrandom
+)
+
+// Ptrace request used by the anti-debugging example (PTRACE_TRACEME).
+const PtraceTraceme = 0
+
+// Errno values returned by the kernel model.
+const (
+	ENOSYS = 38
+	EPERM  = 1
+	EFAULT = 14
+	EBADF  = 9
+)
+
+// OS is a small deterministic kernel model. The zero value is a working
+// kernel with empty stdin and no debugger attached.
+//
+// Non-deterministic inputs (time, random bytes, debugger state) are the
+// heart of the paper's argument against oblivious hashing: programs
+// whose behaviour depends on them cannot be protected by OH but can by
+// Parallax.
+type OS struct {
+	Stdout bytes.Buffer
+	Stderr bytes.Buffer
+	Stdin  *bytes.Reader
+
+	// DebuggerAttached makes ptrace(PTRACE_TRACEME) fail, as it does
+	// when a real debugger already traces the process.
+	DebuggerAttached bool
+	traced           bool
+
+	// Now is returned by time(2). A fixed default keeps runs
+	// deterministic.
+	Now int32
+
+	// RandState seeds the getrandom(2) stream (xorshift32). Zero means
+	// a fixed default seed.
+	RandState uint32
+
+	// Pid is returned by getpid(2). Zero means 4242.
+	Pid int32
+
+	// Trace, when non-nil, receives one line per syscall.
+	Trace func(string)
+}
+
+var _ Kernel = (*OS)(nil)
+
+// errno encodes a kernel error as a negative return value in EAX.
+func errno(e int32) uint32 { return uint32(-e) }
+
+// NewOS returns an OS with the given stdin contents.
+func NewOS(stdin []byte) *OS {
+	return &OS{Stdin: bytes.NewReader(stdin)}
+}
+
+func (os *OS) trace(format string, args ...any) {
+	if os.Trace != nil {
+		os.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// Syscall implements Kernel.
+func (os *OS) Syscall(c *CPU) error {
+	num := c.Reg[x86.EAX]
+	a1 := c.Reg[x86.EBX]
+	a2 := c.Reg[x86.ECX]
+	a3 := c.Reg[x86.EDX]
+	switch num {
+	case SysExit:
+		c.Exited = true
+		c.Status = int32(a1)
+		os.trace("exit(%d)", int32(a1))
+
+	case SysWrite:
+		buf, err := c.Mem.Read(a2, a3, c.EIP)
+		if err != nil {
+			c.Reg[x86.EAX] = errno(EFAULT)
+			return nil
+		}
+		switch a1 {
+		case 1:
+			os.Stdout.Write(buf)
+		case 2:
+			os.Stderr.Write(buf)
+		default:
+			c.Reg[x86.EAX] = errno(EBADF)
+			return nil
+		}
+		c.Reg[x86.EAX] = a3
+		os.trace("write(%d, %q) = %d", a1, buf, a3)
+
+	case SysRead:
+		if a1 != 0 || os.Stdin == nil {
+			c.Reg[x86.EAX] = errno(EBADF)
+			return nil
+		}
+		buf := make([]byte, a3)
+		n, _ := os.Stdin.Read(buf)
+		for i := 0; i < n; i++ {
+			if err := c.Mem.Store8(a2+uint32(i), buf[i], c.EIP); err != nil {
+				c.Reg[x86.EAX] = errno(EFAULT)
+				return nil
+			}
+		}
+		c.Reg[x86.EAX] = uint32(n)
+		os.trace("read(0, %d) = %d", a3, n)
+
+	case SysTime:
+		now := os.Now
+		if now == 0 {
+			now = 1_420_070_400 // 2015-01-01, the paper's year
+		}
+		if a1 != 0 {
+			if err := c.Mem.Store32(a1, uint32(now), c.EIP); err != nil {
+				c.Reg[x86.EAX] = errno(EFAULT)
+				return nil
+			}
+		}
+		c.Reg[x86.EAX] = uint32(now)
+		os.trace("time() = %d", now)
+
+	case SysGetpid:
+		pid := os.Pid
+		if pid == 0 {
+			pid = 4242
+		}
+		c.Reg[x86.EAX] = uint32(pid)
+		os.trace("getpid() = %d", pid)
+
+	case SysPtrace:
+		// PTRACE_TRACEME fails when a tracer is already attached —
+		// the classic anti-debugging check from the paper's §IV-A.
+		if a1 == PtraceTraceme {
+			if os.DebuggerAttached || os.traced {
+				c.Reg[x86.EAX] = errno(EPERM)
+				os.trace("ptrace(TRACEME) = -EPERM")
+			} else {
+				os.traced = true
+				c.Reg[x86.EAX] = 0
+				os.trace("ptrace(TRACEME) = 0")
+			}
+		} else {
+			c.Reg[x86.EAX] = errno(ENOSYS)
+		}
+
+	case SysGetrand:
+		s := os.RandState
+		if s == 0 {
+			s = 0x9E3779B9
+		}
+		for i := uint32(0); i < a2; i++ {
+			s ^= s << 13
+			s ^= s >> 17
+			s ^= s << 5
+			if err := c.Mem.Store8(a1+i, uint8(s), c.EIP); err != nil {
+				c.Reg[x86.EAX] = errno(EFAULT)
+				return nil
+			}
+		}
+		os.RandState = s
+		c.Reg[x86.EAX] = a2
+		os.trace("getrandom(%d) = %d", a2, a2)
+
+	default:
+		os.trace("unknown syscall %d", num)
+		c.Reg[x86.EAX] = errno(ENOSYS)
+	}
+	return nil
+}

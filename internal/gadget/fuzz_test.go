@@ -1,0 +1,22 @@
+package gadget
+
+import "testing"
+
+// FuzzScan feeds arbitrary bytes to the scanner: no panics, and every
+// reported gadget must lie inside the buffer with a sane length.
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{0x58, 0xC3, 0x01, 0xD8, 0xC3})
+	f.Add([]byte{0xB8, 0x58, 0xC3, 0x00, 0x00, 0xC3})
+	f.Fuzz(func(t *testing.T, code []byte) {
+		const base = 0x1000
+		for _, g := range ScanBytes(code, base, ScanConfig{}) {
+			lo, hi := g.Range()
+			if lo < base || hi > base+uint32(len(code)) || g.Len <= 0 {
+				t.Fatalf("gadget out of bounds: %v over %d bytes", g, len(code))
+			}
+			if g.Kind != KindOther && len(g.Insts) == 0 {
+				t.Fatalf("typed gadget without instructions: %v", g)
+			}
+		}
+	})
+}

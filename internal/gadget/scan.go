@@ -1,0 +1,110 @@
+package gadget
+
+import (
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// ScanConfig tunes the gadget scanner.
+type ScanConfig struct {
+	// MaxInsts is the longest considered gadget in instructions
+	// (including the return). Zero means 6, the paper's §VII-A limit
+	// ("we limited the length of the considered gadgets to six
+	// instructions").
+	MaxInsts int
+	// MaxBytes bounds a gadget's byte length. Zero means 24.
+	MaxBytes int
+	// IncludeFar controls whether retf-terminated gadgets are scanned
+	// (§IV-B5). Default true; set SkipFar to disable.
+	SkipFar bool
+}
+
+func (c ScanConfig) withDefaults() ScanConfig {
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 6
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 24
+	}
+	return c
+}
+
+// ScanBytes finds every gadget in code (loaded at base): for each byte
+// offset, decode forward; a sequence of at most MaxInsts instructions
+// ending in ret/retf is a candidate, which the classifier then types.
+func ScanBytes(code []byte, base uint32, cfg ScanConfig) []*Gadget {
+	cfg = cfg.withDefaults()
+
+	// Mark aligned instruction starts from a linear sweep so gadgets
+	// can report whether they hide inside the instruction stream.
+	aligned := make([]bool, len(code))
+	for off := 0; off < len(code); {
+		aligned[off] = true
+		inst, err := x86.Decode(code[off:], base+uint32(off))
+		if err != nil {
+			off++
+			continue
+		}
+		off += inst.Len
+	}
+
+	var out []*Gadget
+	for off := 0; off < len(code); off++ {
+		g := scanAt(code, base, off, cfg)
+		if g == nil {
+			continue
+		}
+		g.Aligned = aligned[off]
+		out = append(out, g)
+	}
+	return out
+}
+
+// scanAt decodes a gadget candidate starting at offset off.
+func scanAt(code []byte, base uint32, off int, cfg ScanConfig) *Gadget {
+	var insts []x86.Inst
+	pos := off
+	for len(insts) < cfg.MaxInsts {
+		if pos-off >= cfg.MaxBytes || pos >= len(code) {
+			return nil
+		}
+		inst, err := x86.Decode(code[pos:], base+uint32(pos))
+		if err != nil {
+			return nil
+		}
+		if pos-off+inst.Len > cfg.MaxBytes {
+			return nil
+		}
+		insts = append(insts, inst)
+		pos += inst.Len
+		if inst.Op == x86.RET || inst.Op == x86.RETF {
+			if inst.Op == x86.RETF && cfg.SkipFar {
+				return nil
+			}
+			g := &Gadget{
+				Addr:  base + uint32(off),
+				Len:   pos - off,
+				Insts: insts,
+			}
+			if !classify(g) {
+				return nil
+			}
+			return g
+		}
+	}
+	return nil
+}
+
+// Scan finds and indexes all gadgets in an image's executable sections.
+func Scan(img *image.Image, cfg ScanConfig) *Catalog {
+	var all []*Gadget
+	for _, s := range img.Sections {
+		if s.Perm&image.PermX == 0 {
+			continue
+		}
+		all = append(all, ScanBytes(s.Data, s.Addr, cfg)...)
+	}
+	c := NewCatalog(all)
+	c.Sort()
+	return c
+}

@@ -1,0 +1,66 @@
+package image
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Serialized image container: a short magic header followed by a gob
+// stream. The format exists so the command-line tools can hand
+// protected binaries between invocations; it is not an interchange
+// format.
+
+const serialMagic = "PLX1"
+
+// WriteTo serializes the image.
+func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(serialMagic)
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return 0, fmt.Errorf("image: encode: %w", err)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadFrom deserializes an image written by WriteTo.
+func ReadFrom(r io.Reader) (*Image, error) {
+	magic := make([]byte, len(serialMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("image: reading magic: %w", err)
+	}
+	if string(magic) != serialMagic {
+		return nil, fmt.Errorf("image: bad magic %q", magic)
+	}
+	img := &Image{}
+	if err := gob.NewDecoder(r).Decode(img); err != nil {
+		return nil, fmt.Errorf("image: decode: %w", err)
+	}
+	return img, nil
+}
+
+// Save writes the image to a file.
+func (img *Image) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := img.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an image from a file.
+func Load(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

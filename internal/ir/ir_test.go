@@ -1,0 +1,370 @@
+package ir
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildFib returns a module computing fib(n) iteratively plus a
+// recursive variant.
+func buildFib(t *testing.T) *Module {
+	t.Helper()
+	mb := NewModule("fib")
+
+	fb := mb.Func("fib_iter", 1)
+	n := fb.Param(0)
+	a := fb.Const(0)
+	b := fb.Const(1)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(ULt, i, n)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	tmp := fb.Add(a, b)
+	fb.Assign(a, b)
+	fb.Assign(b, tmp)
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(a)
+
+	fb = mb.Func("fib_rec", 1)
+	n = fb.Param(0)
+	two := fb.Const(2)
+	c = fb.Cmp(ULt, n, two)
+	fb.Br(c, "base", "rec")
+	fb.Block("base")
+	fb.Ret(n)
+	fb.Block("rec")
+	one = fb.Const(1)
+	r1 := fb.Call("fib_rec", fb.Sub(n, one))
+	r2 := fb.Call("fib_rec", fb.Sub(n, two))
+	fb.Ret(fb.Add(r1, r2))
+
+	fb = mb.Func("main", 0)
+	arg := fb.Const(10)
+	v1 := fb.Call("fib_iter", arg)
+	v2 := fb.Call("fib_rec", arg)
+	fb.Ret(fb.Add(v1, v2))
+
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInterpFib(t *testing.T) {
+	m := buildFib(t)
+	ip := NewInterp(m, &StdKernel{})
+	status, err := ip.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 110 { // fib(10)=55, twice
+		t.Errorf("status = %d, want 110", status)
+	}
+}
+
+func TestInterpCallFunc(t *testing.T) {
+	m := buildFib(t)
+	ip := NewInterp(m, &StdKernel{})
+	for n, want := range map[uint32]uint32{0: 0, 1: 1, 2: 1, 7: 13, 20: 6765} {
+		got, err := ip.CallFunc("fib_iter", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestInterpGlobalsAndMemory(t *testing.T) {
+	mb := NewModule("mem")
+	mb.Global("buf", make([]byte, 64))
+	mb.GlobalRO("msg", []byte("hi"))
+	fb := mb.Func("main", 0)
+	p := fb.Addr("buf", 0)
+	v := fb.Const(0x01020304)
+	fb.Store(p, v)
+	p4 := fb.Addr("buf", 4)
+	b := fb.Const(0xAB)
+	fb.Store8(p4, b)
+	r1 := fb.Load(p)
+	r2 := fb.Load8(p4)
+	fb.Ret(fb.Add(r1, r2))
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m, &StdKernel{})
+	status, err := ip.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(status) != 0x01020304+0xAB {
+		t.Errorf("status = %#x, want %#x", uint32(status), uint32(0x01020304+0xAB))
+	}
+}
+
+func TestInterpSyscalls(t *testing.T) {
+	mb := NewModule("sys")
+	mb.Global("greeting", []byte("hello\n"))
+	fb := mb.Func("main", 0)
+	fd := fb.Const(1)
+	buf := fb.Addr("greeting", 0)
+	n := fb.Const(6)
+	fb.Syscall(sysWrite, fd, buf, n)
+	status := fb.Const(9)
+	fb.Syscall(sysExit, status)
+	fb.Ret(fb.Const(0)) // unreachable
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &StdKernel{}
+	ip := NewInterp(m, k)
+	st, err := ip.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 9 {
+		t.Errorf("status = %d, want 9", st)
+	}
+	if k.Stdout.String() != "hello\n" {
+		t.Errorf("stdout = %q", k.Stdout.String())
+	}
+}
+
+func TestInterpPtraceNondeterminism(t *testing.T) {
+	mb := NewModule("pt")
+	fb := mb.Func("main", 0)
+	req := fb.Const(0)
+	r := fb.Syscall(sysPtrace, req)
+	zero := fb.Const(0)
+	ok := fb.Cmp(Eq, r, zero)
+	fb.Br(ok, "clean", "debugged")
+	fb.Block("clean")
+	fb.Ret(fb.Const(0))
+	fb.Block("debugged")
+	fb.Ret(fb.Const(1))
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewInterp(m, &StdKernel{}).Run()
+	if err != nil || st != 0 {
+		t.Errorf("clean run = %d, %v; want 0", st, err)
+	}
+	st, err = NewInterp(m, &StdKernel{DebuggerAttached: true}).Run()
+	if err != nil || st != 1 {
+		t.Errorf("debugged run = %d, %v; want 1", st, err)
+	}
+}
+
+func TestInterpReadStdin(t *testing.T) {
+	mb := NewModule("rd")
+	mb.GlobalZero("inbuf", 16)
+	fb := mb.Func("main", 0)
+	fd := fb.Const(0)
+	buf := fb.Addr("inbuf", 0)
+	n := fb.Const(4)
+	got := fb.Syscall(sysRead, fd, buf, n)
+	first := fb.Load8(buf)
+	fb.Ret(fb.Add(got, first))
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &StdKernel{Stdin: bytes.NewReader([]byte("A..."))}
+	st, err := NewInterp(m, k).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 4+'A' {
+		t.Errorf("status = %d, want %d", st, 4+'A')
+	}
+}
+
+func TestInterpTraps(t *testing.T) {
+	t.Run("divide by zero", func(t *testing.T) {
+		mb := NewModule("dz")
+		fb := mb.Func("main", 0)
+		a := fb.Const(1)
+		z := fb.Const(0)
+		fb.Ret(fb.Bin(UDiv, a, z))
+		m := mb.MustBuild()
+		_, err := NewInterp(m, nil).Run()
+		if !errors.Is(err, ErrTrap) {
+			t.Errorf("err = %v, want ErrTrap", err)
+		}
+	})
+	t.Run("wild store", func(t *testing.T) {
+		mb := NewModule("ws")
+		fb := mb.Func("main", 0)
+		p := fb.Const(0x123)
+		v := fb.Const(1)
+		fb.Store(p, v)
+		fb.RetVoid()
+		m := mb.MustBuild()
+		_, err := NewInterp(m, nil).Run()
+		if !errors.Is(err, ErrTrap) {
+			t.Errorf("err = %v, want ErrTrap", err)
+		}
+	})
+	t.Run("infinite loop hits step limit", func(t *testing.T) {
+		mb := NewModule("loop")
+		fb := mb.Func("main", 0)
+		fb.Jmp("spin")
+		fb.Block("spin")
+		fb.Jmp("spin")
+		m := mb.MustBuild()
+		ip := NewInterp(m, nil)
+		ip.MaxSteps = 1000
+		_, err := ip.Run()
+		if !errors.Is(err, ErrSteps) {
+			t.Errorf("err = %v, want ErrSteps", err)
+		}
+	})
+	t.Run("runaway recursion", func(t *testing.T) {
+		mb := NewModule("rec")
+		fb := mb.Func("main", 0)
+		fb.Ret(fb.Call("main"))
+		m := mb.MustBuild()
+		_, err := NewInterp(m, nil).Run()
+		if !errors.Is(err, ErrTrap) {
+			t.Errorf("err = %v, want ErrTrap", err)
+		}
+	})
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Module
+		want  string
+	}{
+		{"duplicate function", func() *Module {
+			m := &Module{Funcs: []*Func{
+				{Name: "f", Blocks: []*Block{{Name: "entry"}}},
+				{Name: "f", Blocks: []*Block{{Name: "entry"}}},
+			}}
+			return m
+		}, "duplicate function"},
+		{"undefined callee", func() *Module {
+			mb := NewModule("x")
+			fb := mb.Func("main", 0)
+			v := fb.Const(0)
+			fb.cur.Insts = append(fb.cur.Insts, Inst{Kind: OpCall, Dst: v, Callee: "ghost"})
+			fb.RetVoid()
+			return mb.m
+		}, "undefined callee"},
+		{"undefined block", func() *Module {
+			mb := NewModule("x")
+			fb := mb.Func("main", 0)
+			fb.Jmp("nowhere")
+			return mb.m
+		}, "undefined block"},
+		{"value out of range", func() *Module {
+			mb := NewModule("x")
+			fb := mb.Func("main", 0)
+			fb.cur.Insts = append(fb.cur.Insts, Inst{Kind: OpCopy, Dst: 99, A: 0})
+			fb.RetVoid()
+			return mb.m
+		}, "out of range"},
+		{"bad arg count", func() *Module {
+			mb := NewModule("x")
+			fb := mb.Func("two", 2)
+			fb.RetVoid()
+			fb = mb.Func("main", 0)
+			v := fb.Const(1)
+			fb.cur.Insts = append(fb.cur.Insts,
+				Inst{Kind: OpCall, Dst: v, Callee: "two", Args: []Value{v}})
+			fb.RetVoid()
+			return mb.m
+		}, "want 2"},
+		{"undefined global", func() *Module {
+			mb := NewModule("x")
+			fb := mb.Func("main", 0)
+			v := fb.Const(0)
+			fb.cur.Insts = append(fb.cur.Insts, Inst{Kind: OpAddr, Dst: v, Global: "nope"})
+			fb.RetVoid()
+			return mb.m
+		}, "undefined global"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Validate(tt.build())
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestOpKindsDiversity(t *testing.T) {
+	m := buildFib(t)
+	kinds := m.Func("fib_iter").OpKinds()
+	for _, want := range []string{"bin.add", "cmp.ult"} {
+		if !kinds[want] {
+			t.Errorf("OpKinds missing %q: %v", want, kinds)
+		}
+	}
+}
+
+func TestEvalBinProperties(t *testing.T) {
+	// Shift counts are masked to 5 bits like the hardware.
+	if v, _ := evalBin(Shl, 1, 33); v != 2 {
+		t.Errorf("shl 1,33 = %d, want 2", v)
+	}
+	if v, _ := evalBin(Sar, 0x80000000, 31); v != 0xFFFFFFFF {
+		t.Errorf("sar = %#x, want all ones", v)
+	}
+	// INT_MIN / -1 traps rather than wrapping.
+	if _, err := evalBin(SDiv, 0x80000000, 0xFFFFFFFF); !errors.Is(err, ErrTrap) {
+		t.Errorf("sdiv overflow: err = %v, want trap", err)
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	m := buildFib(t)
+	out := m.String()
+	for _, want := range []string{
+		"module fib (entry main)",
+		"func fib_iter(1 params,",
+		"br v", "ret v", "jmp head",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("module dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := buildFib(t)
+	c := m.Clone()
+	c.Funcs[0].Blocks[0].Insts[0].Imm = 999
+	c.Entry = "fib_rec"
+	if m.Funcs[0].Blocks[0].Insts[0].Imm == 999 {
+		t.Error("instruction mutation leaked through Clone")
+	}
+	if m.Entry != "main" {
+		t.Error("entry mutation leaked through Clone")
+	}
+	if err := Validate(c); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders a function as readable IR text.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%d params, %d vals) {\n", f.Name, f.NumParams, f.NumVals)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Insts {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+		fmt.Fprintf(&b, "\t%s\n", blk.Term)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s", m.Name)
+	if m.Entry != "" {
+		fmt.Fprintf(&b, " (entry %s)", m.Entry)
+	}
+	b.WriteString("\n")
+	for _, g := range m.Globals {
+		ro := ""
+		if g.ReadOnly {
+			ro = " readonly"
+		}
+		fmt.Fprintf(&b, "global %s [%d bytes]%s\n", g.Name, g.ByteSize(), ro)
+	}
+	for _, e := range m.Externs {
+		fmt.Fprintf(&b, "extern %s\n", e)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString("\n")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package ir
+
+import "fmt"
+
+// Validate checks module well-formedness: unique names, resolvable
+// block/function/global references, and value indices within range.
+func Validate(m *Module) error {
+	funcNames := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if funcNames[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		funcNames[f.Name] = true
+	}
+	globalNames := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		if globalNames[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		if funcNames[g.Name] {
+			return fmt.Errorf("ir: global %q collides with a function", g.Name)
+		}
+		globalNames[g.Name] = true
+		if g.Size != 0 && g.Size < uint32(len(g.Init)) {
+			return fmt.Errorf("ir: global %q size %d < %d init bytes",
+				g.Name, g.Size, len(g.Init))
+		}
+	}
+	if m.Entry != "" && !funcNames[m.Entry] {
+		return fmt.Errorf("ir: entry function %q not defined", m.Entry)
+	}
+	for _, e := range m.Externs {
+		globalNames[e] = true
+	}
+	for _, f := range m.Funcs {
+		if err := validateFunc(m, f, funcNames, globalNames); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateFunc(m *Module, f *Func, funcs, globals map[string]bool) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	if f.NumParams > f.NumVals {
+		return fmt.Errorf("ir: %s: %d params but only %d values", f.Name, f.NumParams, f.NumVals)
+	}
+	blocks := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if blocks[b.Name] {
+			return fmt.Errorf("ir: %s: duplicate block %q", f.Name, b.Name)
+		}
+		blocks[b.Name] = true
+	}
+	checkVal := func(v Value, what string) error {
+		if int(v) < 0 || int(v) >= f.NumVals {
+			return fmt.Errorf("ir: %s: %s value %v out of range [0,%d)", f.Name, what, v, f.NumVals)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Insts {
+			where := fmt.Sprintf("%s.%s[%d]", f.Name, b.Name, i)
+			switch in.Kind {
+			case OpConst:
+				if err := checkVal(in.Dst, where+" dst"); err != nil {
+					return err
+				}
+			case OpBin, OpCmp:
+				for _, v := range []Value{in.Dst, in.A, in.B} {
+					if err := checkVal(v, where); err != nil {
+						return err
+					}
+				}
+			case OpNot, OpNeg, OpCopy, OpLoad, OpLoad8:
+				for _, v := range []Value{in.Dst, in.A} {
+					if err := checkVal(v, where); err != nil {
+						return err
+					}
+				}
+			case OpStore, OpStore8:
+				for _, v := range []Value{in.A, in.B} {
+					if err := checkVal(v, where); err != nil {
+						return err
+					}
+				}
+			case OpAddr:
+				if err := checkVal(in.Dst, where+" dst"); err != nil {
+					return err
+				}
+				if !globals[in.Global] {
+					return fmt.Errorf("ir: %s: undefined global %q", where, in.Global)
+				}
+			case OpCall:
+				if err := checkVal(in.Dst, where+" dst"); err != nil {
+					return err
+				}
+				if !funcs[in.Callee] {
+					return fmt.Errorf("ir: %s: undefined callee %q", where, in.Callee)
+				}
+				callee := m.Func(in.Callee)
+				if callee != nil && len(in.Args) != callee.NumParams {
+					return fmt.Errorf("ir: %s: call %s with %d args, want %d",
+						where, in.Callee, len(in.Args), callee.NumParams)
+				}
+				for _, a := range in.Args {
+					if err := checkVal(a, where+" arg"); err != nil {
+						return err
+					}
+				}
+			case OpSyscall:
+				if err := checkVal(in.Dst, where+" dst"); err != nil {
+					return err
+				}
+				if len(in.Args) > 5 {
+					return fmt.Errorf("ir: %s: syscall with %d args (max 5)", where, len(in.Args))
+				}
+				for _, a := range in.Args {
+					if err := checkVal(a, where+" arg"); err != nil {
+						return err
+					}
+				}
+			default:
+				return fmt.Errorf("ir: %s: unknown instruction kind %d", where, in.Kind)
+			}
+		}
+		switch b.Term.Kind {
+		case TermRet:
+			if b.Term.HasVal {
+				if err := checkVal(b.Term.Val, f.Name+"."+b.Name+" ret"); err != nil {
+					return err
+				}
+			}
+		case TermJmp:
+			if !blocks[b.Term.Then] {
+				return fmt.Errorf("ir: %s.%s: jmp to undefined block %q", f.Name, b.Name, b.Term.Then)
+			}
+		case TermBr:
+			if err := checkVal(b.Term.Val, f.Name+"."+b.Name+" br cond"); err != nil {
+				return err
+			}
+			for _, t := range []string{b.Term.Then, b.Term.Else} {
+				if !blocks[t] {
+					return fmt.Errorf("ir: %s.%s: br to undefined block %q", f.Name, b.Name, t)
+				}
+			}
+		default:
+			return fmt.Errorf("ir: %s.%s: unknown terminator kind %d", f.Name, b.Name, b.Term.Kind)
+		}
+	}
+	return nil
+}

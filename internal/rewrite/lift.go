@@ -1,0 +1,212 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// Lift reconstructs a relocatable object from a linked image — the
+// binary-level workflow of the paper's claim 5 ("our approach lends
+// itself to binary-level implementation, and does not inherently
+// require source. This enables the protection of legacy binaries").
+//
+// Functions are recovered from the symbol table by linear-sweep
+// disassembly; intra-function branches become local labels;
+// cross-function and data references are recovered from the image's
+// relocation table. The lifted object can be re-linked (bit-identical
+// text modulo layout) and fed to the same rewriting rules as a
+// source-built object.
+//
+// Requirements, as for any binary rewriter of this design: function
+// symbols cover the code, text contains no interleaved data, and all
+// symbolic references are in the relocation table — properties this
+// repository's linker guarantees and real toolchains approximate with
+// debug information (the paper's prototype also "uses source to
+// simplify binary rewriting").
+func Lift(img *image.Image) (*image.Object, error) {
+	text := img.Text()
+	if text == nil {
+		return nil, fmt.Errorf("rewrite: image has no text section")
+	}
+
+	relocAt := make(map[uint32]image.Reloc, len(img.Relocs))
+	for _, r := range img.Relocs {
+		relocAt[r.Addr] = r
+	}
+
+	funcs := img.Funcs()
+	obj := &image.Object{}
+
+	for _, sym := range funcs {
+		fn, err := liftFunc(img, text, sym, relocAt)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: lifting %s: %w", sym.Name, err)
+		}
+		if err := obj.AddFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Data objects come across as raw bytes plus their pointer slots
+	// (recovered from relocations falling inside them).
+	for _, sym := range img.Symbols {
+		if sym.Kind != image.SymObject {
+			continue
+		}
+		sec := img.SectionAt(sym.Addr)
+		if sec == nil {
+			return nil, fmt.Errorf("rewrite: data symbol %s outside sections", sym.Name)
+		}
+		d := &image.DataSym{
+			Name:     sym.Name,
+			Size:     sym.Size,
+			ReadOnly: sec.Perm&image.PermW == 0,
+		}
+		if off := sym.Addr - sec.Addr; off < uint32(len(sec.Data)) {
+			end := off + sym.Size
+			if end > uint32(len(sec.Data)) {
+				end = uint32(len(sec.Data))
+			}
+			d.Bytes = append([]byte(nil), sec.Data[off:end]...)
+		}
+		for _, r := range img.Relocs {
+			if r.Kind == image.RelocAbs32 && r.Addr >= sym.Addr &&
+				r.Addr+4 <= sym.Addr+sym.Size && sec.Contains(r.Addr) {
+				d.Words = append(d.Words, image.WordRef{
+					Off: r.Addr - sym.Addr, Sym: r.Sym, Add: r.Add,
+				})
+			}
+		}
+		// BSS objects keep nil bytes (zero-initialized).
+		if sec.Name == ".bss" {
+			d.Bytes = nil
+		}
+		if err := obj.AddData(d); err != nil {
+			return nil, err
+		}
+	}
+
+	// Entry function.
+	for _, sym := range funcs {
+		if sym.Addr == img.Entry {
+			obj.Entry = sym.Name
+		}
+	}
+	if obj.Entry == "" && len(funcs) > 0 {
+		return nil, fmt.Errorf("rewrite: entry %#x is not a function start", img.Entry)
+	}
+	return obj, nil
+}
+
+func liftFunc(img *image.Image, text *image.Section, sym image.Symbol,
+	relocAt map[uint32]image.Reloc) (*image.Func, error) {
+
+	code := text.Data[sym.Addr-text.Addr : sym.Addr+sym.Size-text.Addr]
+
+	// First pass: decode and collect intra-function branch targets.
+	type node struct {
+		addr uint32
+		inst x86.Inst
+		raw  []byte
+	}
+	var nodes []node
+	targets := map[uint32]bool{}
+	addr := sym.Addr
+	for int(addr-sym.Addr) < len(code) {
+		off := addr - sym.Addr
+		inst, err := x86.Decode(code[off:], addr)
+		if err != nil {
+			// Unknown bytes (e.g. inserted raw gadgets) are carried as
+			// opaque single bytes; they cannot contain relocations.
+			nodes = append(nodes, node{addr: addr, raw: code[off : off+1]})
+			addr++
+			continue
+		}
+		nodes = append(nodes, node{addr: addr, inst: inst,
+			raw: code[off : off+uint32(inst.Len)]})
+		if inst.Rel && inst.Target >= sym.Addr && inst.Target < sym.Addr+sym.Size {
+			if _, isGlobal := relocAt[addr+uint32(inst.Len)-4]; !isGlobal {
+				targets[inst.Target] = true
+			}
+		}
+		addr += uint32(inst.Len)
+	}
+
+	labelOf := func(a uint32) string { return fmt.Sprintf(".L%x", a-sym.Addr) }
+
+	fn := &image.Func{Name: sym.Name}
+	for _, n := range nodes {
+		var it image.Item
+		switch {
+		case n.raw != nil && n.inst.Len == 0:
+			it = image.RawItem(n.raw...)
+		default:
+			it = image.InstItem(n.inst)
+			// Re-symbolize references.
+			if r, ok := findReloc(relocAt, n.addr, n.inst.Len); ok {
+				slot := image.RefImm
+				if r.Kind == image.RelocRel32 {
+					slot = image.RefTarget
+				} else if m, isMem := n.inst.MemOperand(); isMem && uint32(m.Disp) == targetOf(img, r) {
+					slot = image.RefDisp
+				}
+				it.Ref = image.Ref{Slot: slot, Sym: r.Sym, Add: r.Add}
+				// Neutralize the baked-in value so linking re-derives it.
+				it.Inst = neutralizeRef(it.Inst, slot)
+			} else if n.inst.Rel && targets[n.inst.Target] {
+				it.Ref = image.Ref{Slot: image.RefTarget, Sym: labelOf(n.inst.Target)}
+			} else if n.inst.Rel {
+				return nil, fmt.Errorf("branch at %#x to %#x has no relocation or local target",
+					n.addr, n.inst.Target)
+			}
+		}
+		if targets[n.addr] {
+			it.Label = labelOf(n.addr)
+		}
+		fn.Items = append(fn.Items, it)
+	}
+	return fn, nil
+}
+
+// findReloc locates a relocation patch site within an instruction.
+func findReloc(relocAt map[uint32]image.Reloc, addr uint32, length int) (image.Reloc, bool) {
+	for off := 0; off <= length-4; off++ {
+		if r, ok := relocAt[addr+uint32(off)]; ok {
+			return r, true
+		}
+	}
+	return image.Reloc{}, false
+}
+
+func targetOf(img *image.Image, r image.Reloc) uint32 {
+	s, ok := img.Symbol(r.Sym)
+	if !ok {
+		return 0
+	}
+	return s.Addr + uint32(r.Add)
+}
+
+// neutralizeRef zeroes the symbolic slot so the linker treats it as a
+// pure placeholder.
+func neutralizeRef(inst x86.Inst, slot image.RefSlot) x86.Inst {
+	switch slot {
+	case image.RefTarget:
+		inst.Rel = true
+		inst.Target = 0
+	case image.RefImm:
+		if inst.Op == x86.PUSH {
+			inst.Dst = x86.ImmOp(0)
+		} else {
+			inst.Src = x86.ImmOp(0)
+		}
+	case image.RefDisp:
+		if inst.Dst.Kind == x86.KMem {
+			inst.Dst.Disp = 0
+		} else if inst.Src.Kind == x86.KMem {
+			inst.Src.Disp = 0
+		}
+	}
+	return inst
+}

@@ -1,0 +1,88 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// InsertSpurious applies the §IV-B4 spurious-instruction rule: gadget
+// byte sequences are inserted into a function's instruction stream,
+// guarded by a jump so normal execution skips them (ensuring, per the
+// paper, "that their side-effects do not influence the semantics of
+// the original code"). Unlike the other rules this one always applies,
+// at the cost of one executed jmp per insertion point — the slowdown
+// the paper attributes to the rule.
+//
+// every selects the insertion stride in items (e.g. 4 = one insertion
+// per four instructions); values below 1 mean 8.
+func InsertSpurious(obj *image.Object, fnName string, gadgets [][]byte, every int) (int, error) {
+	fn := obj.Func(fnName)
+	if fn == nil {
+		return 0, fmt.Errorf("rewrite: function %q not in object", fnName)
+	}
+	if len(gadgets) == 0 {
+		return 0, fmt.Errorf("rewrite: no gadget bytes to insert")
+	}
+	if every < 1 {
+		every = 8
+	}
+
+	var out []image.Item
+	inserted := 0
+	gi := 0
+	sinceLast := 0
+	for i, it := range fn.Items {
+		out = append(out, it)
+		sinceLast++
+		if sinceLast < every || i == len(fn.Items)-1 {
+			continue
+		}
+		// Do not split a flag-producing instruction from its consumer.
+		if producesLiveFlags(&it) {
+			continue
+		}
+		g := gadgets[gi%len(gadgets)]
+		gi++
+		if len(g) > 127 {
+			return inserted, fmt.Errorf("rewrite: gadget of %d bytes exceeds jmp rel8 range", len(g))
+		}
+		// jmp over the raw gadget bytes.
+		out = append(out,
+			image.RawItem(append([]byte{0xEB, byte(len(g))}, g...)...),
+		)
+		inserted++
+		sinceLast = 0
+	}
+	fn.Items = out
+	if inserted == 0 {
+		return 0, fmt.Errorf("rewrite: no insertion points in %q", fnName)
+	}
+	return inserted, nil
+}
+
+// producesLiveFlags reports whether the item's flags output may be
+// consumed by the next instruction (cmp/test feeding jcc/setcc in the
+// code generator's output).
+func producesLiveFlags(it *image.Item) bool {
+	if it.Raw != nil {
+		return false
+	}
+	switch it.Inst.Op {
+	case x86.CMP, x86.TEST:
+		return true
+	}
+	return false
+}
+
+// DefaultSpuriousGadgets is a small chain-usable set for insertion.
+func DefaultSpuriousGadgets() [][]byte {
+	return [][]byte{
+		{0x58, 0xC3},       // pop eax; ret
+		{0x5B, 0xC3},       // pop ebx; ret
+		{0x01, 0xD8, 0xC3}, // add eax, ebx; ret
+		{0x89, 0x03, 0xC3}, // mov [ebx], eax; ret
+		{0x8B, 0x03, 0xC3}, // mov eax, [ebx]; ret
+	}
+}

@@ -1,0 +1,207 @@
+// Package ropc compiles IR functions into ROP chains — the paper's §V
+// "verification code". A compiled chain is a sequence of 32-bit words
+// (gadget addresses and constants) that re-implements the function
+// using gadgets scattered over the protected binary, so that executing
+// it implicitly verifies those gadgets' integrity.
+//
+// The compiler targets a canonical gadget basis (pop/mov/load/store/
+// ALU/shift/div/add-esp/pop-esp); Parallax guarantees availability by
+// inserting a fallback pool when the host binary lacks a type (§III:
+// "a standard set of non-overlapping gadgets can be inserted"), and
+// always prefers gadgets overlapping protected instructions.
+package ropc
+
+import (
+	"fmt"
+
+	"parallax/internal/ir"
+)
+
+// Lower rewrites a function into the chain-compilable core subset:
+//
+//   - OpCmp becomes branchless bit arithmetic (chains have no flags);
+//   - TermBr conditions are normalized to exact 0/1 booleans;
+//   - OpLoad8/OpStore8 become aligned word accesses with shift/mask
+//     arithmetic.
+//
+// The result is a fresh function; the input is not modified. Lowered
+// functions are semantically identical to their originals, which the
+// differential tests check with the IR interpreter.
+func Lower(f *ir.Func) (*ir.Func, error) {
+	nf := &ir.Func{Name: f.Name, NumParams: f.NumParams, NumVals: f.NumVals}
+	lw := &lowerer{f: nf}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Name: b.Name, Term: b.Term}
+		lw.cur = nb
+		for i := range b.Insts {
+			if err := lw.inst(&b.Insts[i]); err != nil {
+				return nil, fmt.Errorf("ropc: lowering %s.%s: %w", f.Name, b.Name, err)
+			}
+		}
+		if nb.Term.Kind == ir.TermBr {
+			// Normalize the branch condition to an exact boolean: the
+			// chain's mask trick (neg) needs 0 or 1, not just zero /
+			// non-zero.
+			nb.Term.Val = lw.emitNe(nb.Term.Val, lw.constVal(0))
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf, nil
+}
+
+type lowerer struct {
+	f   *ir.Func
+	cur *ir.Block
+}
+
+func (lw *lowerer) newVal() ir.Value {
+	v := ir.Value(lw.f.NumVals)
+	lw.f.NumVals++
+	return v
+}
+
+func (lw *lowerer) emit(in ir.Inst) ir.Value {
+	lw.cur.Insts = append(lw.cur.Insts, in)
+	return in.Dst
+}
+
+func (lw *lowerer) constVal(c int32) ir.Value {
+	return lw.emit(ir.Inst{Kind: ir.OpConst, Dst: lw.newVal(), Imm: c})
+}
+
+func (lw *lowerer) bin(k ir.BinKind, a, b ir.Value) ir.Value {
+	return lw.emit(ir.Inst{Kind: ir.OpBin, Dst: lw.newVal(), Bin: k, A: a, B: b})
+}
+
+func (lw *lowerer) neg(a ir.Value) ir.Value {
+	return lw.emit(ir.Inst{Kind: ir.OpNeg, Dst: lw.newVal(), A: a})
+}
+
+// emitNe computes (a != b) as 0/1: d = a-b; ((d | -d) >> 31) & 1, all
+// with plain word arithmetic.
+func (lw *lowerer) emitNe(a, b ir.Value) ir.Value {
+	d := lw.bin(ir.Sub, a, b)
+	nd := lw.neg(d)
+	m := lw.bin(ir.Or, d, nd)
+	sh := lw.constVal(31)
+	return lw.bin(ir.Shr, m, sh)
+}
+
+// emitULt computes (a <u b) via the borrow-out formula
+// MSB((~a & b) | ((~a | b) & (a-b))).
+func (lw *lowerer) emitULt(a, b ir.Value) ir.Value {
+	na := lw.emit(ir.Inst{Kind: ir.OpNot, Dst: lw.newVal(), A: a})
+	t1 := lw.bin(ir.And, na, b)
+	t2 := lw.bin(ir.Or, na, b)
+	d := lw.bin(ir.Sub, a, b)
+	t3 := lw.bin(ir.And, t2, d)
+	m := lw.bin(ir.Or, t1, t3)
+	sh := lw.constVal(31)
+	return lw.bin(ir.Shr, m, sh)
+}
+
+// emitSLt computes (a <s b) via MSB(d ^ ((a^b) & (d^a))), d = a-b.
+func (lw *lowerer) emitSLt(a, b ir.Value) ir.Value {
+	d := lw.bin(ir.Sub, a, b)
+	ab := lw.bin(ir.Xor, a, b)
+	da := lw.bin(ir.Xor, d, a)
+	t := lw.bin(ir.And, ab, da)
+	m := lw.bin(ir.Xor, d, t)
+	sh := lw.constVal(31)
+	return lw.bin(ir.Shr, m, sh)
+}
+
+func (lw *lowerer) flip(v ir.Value) ir.Value {
+	one := lw.constVal(1)
+	return lw.bin(ir.Xor, v, one)
+}
+
+func (lw *lowerer) inst(in *ir.Inst) error {
+	switch in.Kind {
+	case ir.OpCmp:
+		var r ir.Value
+		switch in.Pred {
+		case ir.Ne:
+			r = lw.emitNe(in.A, in.B)
+		case ir.Eq:
+			r = lw.flip(lw.emitNe(in.A, in.B))
+		case ir.ULt:
+			r = lw.emitULt(in.A, in.B)
+		case ir.UGt:
+			r = lw.emitULt(in.B, in.A)
+		case ir.UGe:
+			r = lw.flip(lw.emitULt(in.A, in.B))
+		case ir.ULe:
+			r = lw.flip(lw.emitULt(in.B, in.A))
+		case ir.Lt:
+			r = lw.emitSLt(in.A, in.B)
+		case ir.Gt:
+			r = lw.emitSLt(in.B, in.A)
+		case ir.Ge:
+			r = lw.flip(lw.emitSLt(in.A, in.B))
+		case ir.Le:
+			r = lw.flip(lw.emitSLt(in.B, in.A))
+		default:
+			return fmt.Errorf("unknown predicate %v", in.Pred)
+		}
+		lw.emit(ir.Inst{Kind: ir.OpCopy, Dst: in.Dst, A: r})
+		return nil
+
+	case ir.OpLoad8:
+		// byte = (mem32[a & ~3] >> (8*(a & 3))) & 0xFF
+		m3 := lw.constVal(^int32(3))
+		aligned := lw.bin(ir.And, in.A, m3)
+		w := lw.emit(ir.Inst{Kind: ir.OpLoad, Dst: lw.newVal(), A: aligned})
+		three := lw.constVal(3)
+		off := lw.bin(ir.And, in.A, three)
+		eight := lw.constVal(3)
+		sh := lw.bin(ir.Shl, off, eight) // off*8 via <<3
+		shifted := lw.bin(ir.Shr, w, sh)
+		ff := lw.constVal(0xFF)
+		r := lw.bin(ir.And, shifted, ff)
+		lw.emit(ir.Inst{Kind: ir.OpCopy, Dst: in.Dst, A: r})
+		return nil
+
+	case ir.OpStore8:
+		// w = mem32[a&~3]; sh = 8*(a&3);
+		// mem32[a&~3] = (w & ~(0xFF<<sh)) | ((v&0xFF) << sh)
+		m3 := lw.constVal(^int32(3))
+		aligned := lw.bin(ir.And, in.A, m3)
+		w := lw.emit(ir.Inst{Kind: ir.OpLoad, Dst: lw.newVal(), A: aligned})
+		three := lw.constVal(3)
+		off := lw.bin(ir.And, in.A, three)
+		eight := lw.constVal(3)
+		sh := lw.bin(ir.Shl, off, eight)
+		ff := lw.constVal(0xFF)
+		mask := lw.bin(ir.Shl, ff, sh)
+		nmask := lw.emit(ir.Inst{Kind: ir.OpNot, Dst: lw.newVal(), A: mask})
+		cleared := lw.bin(ir.And, w, nmask)
+		vb := lw.bin(ir.And, in.B, ff)
+		vs := lw.bin(ir.Shl, vb, sh)
+		merged := lw.bin(ir.Or, cleared, vs)
+		lw.emit(ir.Inst{Kind: ir.OpStore, A: aligned, B: merged})
+		return nil
+
+	case ir.OpCall, ir.OpSyscall:
+		return fmt.Errorf("%v cannot be lowered into a chain", in.Kind)
+
+	default:
+		lw.cur.Insts = append(lw.cur.Insts, *in)
+		return nil
+	}
+}
+
+// Chainable reports whether a function can be compiled to a chain: it
+// must not call other functions or make system calls (§VII-B's
+// selection algorithm only considers such functions).
+func Chainable(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			switch b.Insts[i].Kind {
+			case ir.OpCall, ir.OpSyscall:
+				return false
+			}
+		}
+	}
+	return true
+}

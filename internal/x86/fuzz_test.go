@@ -1,0 +1,22 @@
+package x86
+
+import "testing"
+
+// FuzzDecode drives the decoder with arbitrary bytes; it must never
+// panic, never report a non-positive length, and every successful
+// decode must re-encode (the gadget scanner runs this code on every
+// byte offset of every binary).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x55, 0x89, 0xE5, 0xC3}, uint32(0x8048000))
+	f.Add([]byte{0x0F, 0xAF, 0xC3, 0xC3}, uint32(0))
+	f.Add([]byte{0x66, 0x81, 0xC3, 0x34, 0x12}, uint32(4096))
+	f.Fuzz(func(t *testing.T, b []byte, addr uint32) {
+		inst, err := Decode(b, addr)
+		if err != nil {
+			return
+		}
+		if inst.Len <= 0 || inst.Len > 15 || inst.Len > len(b) {
+			t.Fatalf("bad length %d for % x", inst.Len, b)
+		}
+	})
+}

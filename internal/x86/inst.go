@@ -1,0 +1,354 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction mnemonic.
+type Op uint8
+
+// Instruction mnemonics. Conditional jumps and sets are folded into JCC
+// and SETCC with the condition stored in Inst.Cond.
+const (
+	BAD Op = iota
+
+	// ALU, group-80 order (the constant order matters: the ModRM /reg
+	// field of the 0x80..0x83 immediate groups indexes this sequence).
+	ADD
+	OR
+	ADC
+	SBB
+	AND
+	SUB
+	XOR
+	CMP
+
+	MOV
+	TEST
+	XCHG
+	LEA
+	PUSH
+	POP
+	INC
+	DEC
+	NOT
+	NEG
+	MUL
+	IMUL
+	DIV
+	IDIV
+
+	// Shift/rotate, group-C0 order (ModRM /reg field indexes this
+	// sequence starting at ROL).
+	ROL
+	ROR
+	RCL
+	RCR
+	SHL
+	SHR
+	SAL // encoded identically to SHL; decoder produces SHL
+	SAR
+
+	MOVZX
+	MOVSX
+
+	CALL
+	JMP
+	JCC
+	RET  // near return, optional imm16 stack adjustment
+	RETF // far return
+	LEAVE
+
+	NOP
+	HLT
+	INT  // int imm8
+	INT3 // 0xCC breakpoint
+
+	PUSHAD
+	POPAD
+	PUSHFD
+	POPFD
+	LAHF
+	SAHF
+	SETCC
+	CDQ
+	CWDE
+
+	CLC
+	STC
+	CMC
+	CLD
+	STD
+
+	// String operations; Inst.Rep records an optional REP prefix.
+	MOVS
+	STOS
+	LODS
+	SCAS
+	CMPS
+)
+
+var opNames = map[Op]string{
+	BAD: "(bad)", ADD: "add", OR: "or", ADC: "adc", SBB: "sbb", AND: "and",
+	SUB: "sub", XOR: "xor", CMP: "cmp", MOV: "mov", TEST: "test",
+	XCHG: "xchg", LEA: "lea", PUSH: "push", POP: "pop", INC: "inc",
+	DEC: "dec", NOT: "not", NEG: "neg", MUL: "mul", IMUL: "imul",
+	DIV: "div", IDIV: "idiv", ROL: "rol", ROR: "ror", RCL: "rcl",
+	RCR: "rcr", SHL: "shl", SHR: "shr", SAL: "sal", SAR: "sar",
+	MOVZX: "movzx", MOVSX: "movsx", CALL: "call", JMP: "jmp", JCC: "j",
+	RET: "ret", RETF: "retf", LEAVE: "leave", NOP: "nop", HLT: "hlt",
+	INT: "int", INT3: "int3", PUSHAD: "pushad", POPAD: "popad",
+	PUSHFD: "pushfd", POPFD: "popfd", LAHF: "lahf", SAHF: "sahf",
+	SETCC: "set", CDQ: "cdq", CWDE: "cwde", CLC: "clc", STC: "stc",
+	CMC: "cmc", CLD: "cld", STD: "std", MOVS: "movs", STOS: "stos",
+	LODS: "lods", SCAS: "scas", CMPS: "cmps",
+}
+
+// String returns the mnemonic text for op.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KNone OperandKind = iota
+	KReg              // register at Inst width
+	KImm              // immediate
+	KMem              // memory reference via base/index/scale/disp
+)
+
+// Operand is one instruction operand. Width is a property of the parent
+// instruction, not the operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg   // KReg: the register
+	Imm   int32 // KImm: immediate value (sign-extended)
+	Base  Reg   // KMem: base register, valid if HasBase
+	Index Reg   // KMem: index register, valid if HasIndex
+	Scale uint8 // KMem: index scale 1,2,4,8
+	Disp  int32 // KMem: displacement
+
+	HasBase  bool
+	HasIndex bool
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int32) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// MemOp returns a [base+disp] memory operand.
+func MemOp(base Reg, disp int32) Operand {
+	return Operand{Kind: KMem, Base: base, HasBase: true, Scale: 1, Disp: disp}
+}
+
+// MemAbs returns an absolute [disp] memory operand.
+func MemAbs(addr uint32) Operand {
+	return Operand{Kind: KMem, Scale: 1, Disp: int32(addr)}
+}
+
+// MemSIB returns a full [base + index*scale + disp] memory operand.
+// Pass hasBase/hasIndex false to omit the respective component.
+func MemSIB(base Reg, hasBase bool, index Reg, hasIndex bool, scale uint8, disp int32) Operand {
+	if !hasIndex {
+		scale = 1
+	}
+	return Operand{
+		Kind: KMem, Base: base, HasBase: hasBase,
+		Index: index, HasIndex: hasIndex, Scale: scale, Disp: disp,
+	}
+}
+
+// IsReg reports whether o is the given register operand.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KReg && o.Reg == r }
+
+func (o Operand) format(width int) string {
+	switch o.Kind {
+	case KReg:
+		return o.Reg.Name(width)
+	case KImm:
+		return fmt.Sprintf("0x%x", uint32(o.Imm))
+	case KMem:
+		var b strings.Builder
+		b.WriteByte('[')
+		wrote := false
+		if o.HasBase {
+			b.WriteString(o.Base.String())
+			wrote = true
+		}
+		if o.HasIndex {
+			if wrote {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%s*%d", o.Index, o.Scale)
+			wrote = true
+		}
+		if o.Disp != 0 || !wrote {
+			if wrote {
+				if o.Disp < 0 {
+					fmt.Fprintf(&b, "-0x%x", uint32(-o.Disp))
+				} else {
+					fmt.Fprintf(&b, "+0x%x", uint32(o.Disp))
+				}
+			} else {
+				fmt.Fprintf(&b, "0x%x", uint32(o.Disp))
+			}
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return ""
+	}
+}
+
+// Inst is one decoded (or to-be-encoded) instruction.
+type Inst struct {
+	Op     Op
+	W      uint8 // operand width in bits: 8, 16 or 32
+	Cond   Cond  // JCC / SETCC condition
+	Dst    Operand
+	Src    Operand
+	Imm    int32 // third operand: imul r,r/m,imm; ret imm16; int imm8
+	HasImm bool  // true when Imm is a real third operand (imul r,r/m,imm)
+
+	// Target is the absolute destination of a relative CALL/JMP/JCC,
+	// computed from the instruction address passed to Decode.
+	Target uint32
+	// Rel is true for relative-displacement CALL/JMP/JCC forms.
+	Rel bool
+	// Rep is true when an F3 REP/REPE prefix applies; RepNE for F2.
+	Rep   bool
+	RepNE bool
+
+	// Len is the encoded length in bytes (set by Decode and Encode).
+	Len int
+}
+
+// MemOperand returns the memory operand of the instruction and true, or
+// a zero Operand and false if neither operand is a memory reference.
+func (i *Inst) MemOperand() (Operand, bool) {
+	if i.Dst.Kind == KMem {
+		return i.Dst, true
+	}
+	if i.Src.Kind == KMem {
+		return i.Src, true
+	}
+	return Operand{}, false
+}
+
+// IsRet reports whether the instruction is a near or far return.
+func (i *Inst) IsRet() bool { return i.Op == RET || i.Op == RETF }
+
+// String renders the instruction in Intel-ish syntax.
+func (i Inst) String() string {
+	var b strings.Builder
+	if i.Rep {
+		b.WriteString("rep ")
+	}
+	if i.RepNE {
+		b.WriteString("repne ")
+	}
+	switch i.Op {
+	case JCC:
+		fmt.Fprintf(&b, "j%s 0x%x", i.Cond, i.Target)
+		return b.String()
+	case SETCC:
+		fmt.Fprintf(&b, "set%s %s", i.Cond, i.Dst.format(8))
+		return b.String()
+	case CALL, JMP:
+		if i.Rel {
+			fmt.Fprintf(&b, "%s 0x%x", i.Op, i.Target)
+			return b.String()
+		}
+	case RET, RETF:
+		b.WriteString(i.Op.String())
+		if i.Imm != 0 {
+			fmt.Fprintf(&b, " 0x%x", uint16(i.Imm))
+		}
+		return b.String()
+	case INT:
+		fmt.Fprintf(&b, "int 0x%x", uint8(i.Imm))
+		return b.String()
+	case MOVS, STOS, LODS, SCAS, CMPS:
+		suffix := "d"
+		if i.W == 8 {
+			suffix = "b"
+		} else if i.W == 16 {
+			suffix = "w"
+		}
+		b.WriteString(i.Op.String())
+		b.WriteString(suffix)
+		return b.String()
+	}
+	b.WriteString(i.Op.String())
+	w := int(i.W)
+	srcW := w
+	if i.Op == MOVZX || i.Op == MOVSX {
+		// Destination is 32-bit; source width is i.W (8 or 16).
+		if i.Dst.Kind != KNone {
+			b.WriteByte(' ')
+			b.WriteString(i.Dst.format(32))
+		}
+		if i.Src.Kind != KNone {
+			b.WriteByte(',')
+			b.WriteString(i.Src.format(srcW))
+		}
+		return b.String()
+	}
+	if i.Dst.Kind != KNone {
+		b.WriteByte(' ')
+		if i.Dst.Kind == KMem && i.Op != LEA {
+			b.WriteString(memSizePrefix(w))
+		}
+		b.WriteString(i.Dst.format(w))
+	}
+	if i.Src.Kind != KNone {
+		b.WriteByte(',')
+		switch {
+		case i.Src.Kind == KMem && i.Op != LEA:
+			b.WriteString(memSizePrefix(w))
+			b.WriteString(i.Src.format(w))
+		case i.Src.Kind == KImm:
+			// Mask the displayed immediate to the operand width.
+			v := uint32(i.Src.Imm)
+			if w == 8 {
+				v &= 0xFF
+			} else if w == 16 {
+				v &= 0xFFFF
+			}
+			fmt.Fprintf(&b, "0x%x", v)
+		case i.Src.Kind == KReg && isShift(i.Op):
+			// The shift count register is always CL.
+			b.WriteString(i.Src.Reg.Name(8))
+		default:
+			b.WriteString(i.Src.format(w))
+		}
+	}
+	if i.Op == IMUL && i.Src.Kind != KNone && i.hasThirdImm() {
+		fmt.Fprintf(&b, ",0x%x", uint32(i.Imm))
+	}
+	return b.String()
+}
+
+func (i Inst) hasThirdImm() bool { return i.HasImm }
+
+func isShift(op Op) bool { return op >= ROL && op <= SAR }
+
+func memSizePrefix(w int) string {
+	switch w {
+	case 8:
+		return "byte "
+	case 16:
+		return "word "
+	default:
+		return "dword "
+	}
+}

