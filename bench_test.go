@@ -13,8 +13,10 @@ package parallax
 // and see cmd/parallax-bench for the same data as plain tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"parallax/internal/attack"
 	"parallax/internal/codegen"
@@ -23,6 +25,7 @@ import (
 	"parallax/internal/dyngen"
 	"parallax/internal/emu"
 	"parallax/internal/experiment"
+	"parallax/internal/farm"
 	"parallax/internal/gadget"
 	"parallax/internal/image"
 	"parallax/internal/rewrite"
@@ -125,6 +128,51 @@ func BenchmarkProtect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFarmThroughput measures the concurrent batch-protection
+// service: one iteration protects the whole 6-program × 4-mode corpus
+// matrix through internal/farm. The farm sizes its pool to GOMAXPROCS,
+// so scaling is observed with
+//
+//	go test -bench FarmThroughput -cpu 1,4,8
+//
+// The first iteration runs on a cold cache; later iterations hit the
+// content-addressed scan cache and layout hints (steady-state numbers,
+// which is what a long-running protection service sees). Reported
+// metrics: jobs/sec and the cumulative scan-cache hit percentage.
+func BenchmarkFarmThroughput(b *testing.B) {
+	jobs := experiment.FarmMatrix(nil)
+	f := farm.New(farm.Config{})
+	defer f.Close()
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		futures := make([]*farm.Job, len(jobs))
+		for k, jb := range jobs {
+			j, err := f.Submit(ctx, jb.Name, jb.Build(), jb.Opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			futures[k] = j
+		}
+		for k, j := range futures {
+			res, err := j.Wait(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Err != nil {
+				b.Fatalf("job %s: %v", jobs[k].Name, res.Err)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	st := f.Stats()
+	if st.JobsFailed != 0 {
+		b.Fatalf("farm stats: %v", st)
+	}
+	b.ReportMetric(float64(st.JobsCompleted)/elapsed, "jobs/s")
+	b.ReportMetric(100*st.ScanHitRate(), "scan-hit-%")
 }
 
 // BenchmarkGadgetScan measures the scanner over a protected text

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's verification entry point.
+#
+# Runs the full gate: build, vet, tests, the race detector over the
+# concurrent subsystems (internal/farm is genuinely parallel), and
+# short fuzz smoke runs of the two decoder-facing fuzz targets.
+#
+# Usage:
+#   ./ci.sh            # everything (~a few minutes)
+#   FUZZTIME=0 ./ci.sh # skip the fuzz smoke runs
+set -euo pipefail
+cd "$(dirname "$0")"
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+if [[ "$FUZZTIME" != "0" ]]; then
+    echo "==> fuzz smoke: FuzzDecode ($FUZZTIME)"
+    go test -run='^$' -fuzz=FuzzDecode -fuzztime="$FUZZTIME" ./internal/x86
+    echo "==> fuzz smoke: FuzzScan ($FUZZTIME)"
+    go test -run='^$' -fuzz=FuzzScan -fuzztime="$FUZZTIME" ./internal/gadget
+fi
+
+echo "==> ci.sh: all green"

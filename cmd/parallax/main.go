@@ -6,6 +6,7 @@
 //
 //	parallax build   -prog wget -o wget.plx
 //	parallax protect -prog wget [-verify mix32 | -auto] [-mode xor] -o wget-p.plx
+//	parallax batch   [-progs all] [-modes static,xor,rc4,prob] [-workers N] [-rounds 2]
 //	parallax run     wget-p.plx [-stdin file] [-debugger] [-max N]
 //	parallax gadgets wget-p.plx [-usable] [-kind pop] [-limit N]
 //	parallax chain   -prog wget -verify mix32 [-mu]
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +36,16 @@ import (
 	"parallax/internal/x86"
 )
 
+// errUsage marks bad command-line input. Every subcommand error chain
+// either wraps it (caller mistake, exit status 2) or not (internal
+// fault, exit status 1), so scripts can tell the two apart.
+var errUsage = errors.New("usage error")
+
+// usagef builds an errUsage-wrapped error from a format string.
+func usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, args...))
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -46,6 +58,8 @@ func main() {
 		err = cmdBuild(args)
 	case "protect":
 		err = cmdProtect(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "run":
 		err = cmdRun(args)
 	case "gadgets":
@@ -69,6 +83,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parallax %s: %v\n", cmd, err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -79,6 +96,7 @@ func usage() {
 commands:
   build     compile a corpus program to an unprotected image
   protect   protect a corpus program with verification chains
+  batch     protect the corpus x chain-mode matrix concurrently
   run       execute an image under the emulator
   gadgets   list the gadget catalog of an image
   chain     compile and dump a verification chain
@@ -98,17 +116,17 @@ func cmdBuild(args []string) error {
 	fs.Parse(args)
 	p, err := corpus.ByName(*prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	if *out == "" {
-		return fmt.Errorf("need -o")
+		return usagef("need -o")
 	}
 	img, err := codegen.Build(p.Build(), image.Layout{})
 	if err != nil {
-		return err
+		return fmt.Errorf("building %s: %w", p.Name, err)
 	}
 	if err := img.Save(*out); err != nil {
-		return err
+		return fmt.Errorf("saving image: %w", err)
 	}
 	fmt.Printf("built %s: text %d bytes, %d symbols -> %s\n",
 		p.Name, img.Text().Size, len(img.Symbols), *out)
@@ -128,31 +146,39 @@ func cmdProtect(args []string) error {
 
 	p, err := corpus.ByName(*prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	if *out == "" {
-		return fmt.Errorf("need -o")
+		return usagef("need -o")
+	}
+	chainMode, err := parseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	opts := core.Options{
-		ChainMode: parseMode(*mode),
+		ChainMode: chainMode,
 		MuChains:  *mu,
 		Seed:      uint32(*seed),
 		Workload:  p.Stdin,
 	}
+	m := p.Build()
 	switch {
 	case *auto:
 		opts.AutoSelect = true
 	case *verify != "":
+		if m.Func(*verify) == nil {
+			return usagef("no function %q in %s", *verify, p.Name)
+		}
 		opts.VerifyFuncs = []string{*verify}
 	default:
 		opts.VerifyFuncs = []string{p.VerifyFunc}
 	}
-	prot, err := core.Protect(p.Build(), opts)
+	prot, err := core.Protect(m, opts)
 	if err != nil {
-		return err
+		return fmt.Errorf("protecting %s: %w", p.Name, err)
 	}
 	if err := prot.Image.Save(*out); err != nil {
-		return err
+		return fmt.Errorf("saving image: %w", err)
 	}
 	for _, fn := range prot.VerifyFuncs {
 		ch := prot.Chains[fn]
@@ -168,16 +194,18 @@ func cmdProtect(args []string) error {
 	return nil
 }
 
-func parseMode(s string) dyngen.Mode {
+func parseMode(s string) (dyngen.Mode, error) {
 	switch s {
+	case "static", "cleartext", "":
+		return dyngen.ModeStatic, nil
 	case "xor":
-		return dyngen.ModeXor
+		return dyngen.ModeXor, nil
 	case "rc4":
-		return dyngen.ModeRC4
+		return dyngen.ModeRC4, nil
 	case "prob":
-		return dyngen.ModeProb
+		return dyngen.ModeProb, nil
 	default:
-		return dyngen.ModeStatic
+		return dyngen.ModeStatic, fmt.Errorf("unknown chain mode %q (want static|xor|rc4|prob)", s)
 	}
 }
 
@@ -189,17 +217,17 @@ func cmdRun(args []string) error {
 	trace := fs.Bool("trace", false, "trace system calls")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("need an image path")
+		return usagef("need an image path")
 	}
 	img, err := image.Load(fs.Arg(0))
 	if err != nil {
-		return err
+		return fmt.Errorf("loading image: %w", err)
 	}
 	var stdin []byte
 	if *stdinPath != "" {
 		stdin, err = os.ReadFile(*stdinPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: reading -stdin: %w", errUsage, err)
 		}
 	}
 	cpu, err := emu.LoadImage(img)
@@ -230,11 +258,11 @@ func cmdGadgets(args []string) error {
 	limit := fs.Int("limit", 50, "max gadgets to print (0 = all)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("need an image path")
+		return usagef("need an image path")
 	}
 	img, err := image.Load(fs.Arg(0))
 	if err != nil {
-		return err
+		return fmt.Errorf("loading image: %w", err)
 	}
 	cat := gadget.Scan(img, gadget.ScanConfig{})
 	counts := map[string]int{}
@@ -272,18 +300,22 @@ func cmdChain(args []string) error {
 	fs.Parse(args)
 	p, err := corpus.ByName(*prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	fn := *verify
 	if fn == "" {
 		fn = p.VerifyFunc
 	}
-	prot, err := core.Protect(p.Build(), core.Options{
+	m := p.Build()
+	if m.Func(fn) == nil {
+		return usagef("no function %q in %s", fn, p.Name)
+	}
+	prot, err := core.Protect(m, core.Options{
 		VerifyFuncs: []string{fn},
 		MuChains:    *mu,
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("compiling chain for %s: %w", fn, err)
 	}
 	fmt.Print(prot.Chains[fn])
 	return nil
@@ -294,11 +326,11 @@ func cmdDisasm(args []string) error {
 	fnName := fs.String("func", "", "only this function")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("need an image path")
+		return usagef("need an image path")
 	}
 	img, err := image.Load(fs.Arg(0))
 	if err != nil {
-		return err
+		return fmt.Errorf("loading image: %w", err)
 	}
 	text := img.Text()
 	for _, sym := range img.Funcs() {
@@ -331,15 +363,15 @@ func cmdCoverage(args []string) error {
 	fs.Parse(args)
 	p, err := corpus.ByName(*prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	img, err := codegen.Build(p.Build(), image.Layout{})
 	if err != nil {
-		return err
+		return fmt.Errorf("building %s: %w", p.Name, err)
 	}
 	rep, err := rewrite.Measure(img)
 	if err != nil {
-		return err
+		return fmt.Errorf("measuring %s: %w", p.Name, err)
 	}
 	fmt.Printf("%s: %d text bytes (strict / compositional %%)\n", p.Name, rep.TextBytes)
 	fmt.Printf("  existing near-ret: %5.1f%%\n", rep.Percent(rewrite.RuleExisting))
@@ -360,13 +392,13 @@ func cmdIR(args []string) error {
 	fs.Parse(args)
 	p, err := corpus.ByName(*prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	m := p.Build()
 	if *fnName != "" {
 		f := m.Func(*fnName)
 		if f == nil {
-			return fmt.Errorf("no function %q in %s", *fnName, p.Name)
+			return usagef("no function %q in %s", *fnName, p.Name)
 		}
 		fmt.Print(f)
 		return nil
@@ -383,15 +415,15 @@ func cmdAttack(args []string) error {
 	out := fs.String("o", "", "output image path")
 	fs.Parse(args)
 	if fs.NArg() != 1 || *addrStr == "" || *out == "" {
-		return fmt.Errorf("need an image path, -addr and -o")
+		return usagef("need an image path, -addr and -o")
 	}
 	img, err := image.Load(fs.Arg(0))
 	if err != nil {
-		return err
+		return fmt.Errorf("loading image: %w", err)
 	}
 	addr64, err := strconv.ParseUint(strings.TrimPrefix(*addrStr, "0x"), 16, 32)
 	if err != nil {
-		return fmt.Errorf("bad -addr: %w", err)
+		return fmt.Errorf("%w: bad -addr: %w", errUsage, err)
 	}
 	addr := uint32(addr64)
 	if *nop > 0 {
@@ -402,17 +434,17 @@ func cmdAttack(args []string) error {
 		for i := 0; i+1 < len(clean)+1 && i+2 <= len(clean); i += 2 {
 			v, perr := strconv.ParseUint(clean[i:i+2], 16, 8)
 			if perr != nil {
-				return fmt.Errorf("bad -hex: %w", perr)
+				return fmt.Errorf("%w: bad -hex: %w", errUsage, perr)
 			}
 			b = append(b, byte(v))
 		}
 		err = attack.PatchBytes(img, addr, b)
 	}
 	if err != nil {
-		return err
+		return fmt.Errorf("patching: %w", err)
 	}
 	if err := img.Save(*out); err != nil {
-		return err
+		return fmt.Errorf("saving image: %w", err)
 	}
 	fmt.Printf("patched %#x -> %s\n", addr, *out)
 	return nil

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -83,9 +86,63 @@ func TestCLIEndToEnd(t *testing.T) {
 	crackedOut, err := exec.Command(bin, "run", cracked).CombinedOutput()
 	t.Logf("cracked run (err=%v): %s", err, firstLine(string(crackedOut)))
 
+	// Batch-protect a sub-matrix through the farm; round 2 must report
+	// a fully warm cache.
+	out = run(true, "batch", "-progs", "nginx,gzip", "-modes", "static,xor",
+		"-rounds", "2", "-o", filepath.Join(dir, "batch"))
+	if !strings.Contains(out, "nginx/xor") || strings.Contains(out, "FAILED") {
+		t.Errorf("batch output: %s", out)
+	}
+	if !strings.Contains(out, "scan cache: 4 hits / 0 misses (100.0%)") {
+		t.Errorf("batch round 2 not fully cached:\n%s", out)
+	}
+	// A batch-protected image equals the sequentially protected one.
+	seq := filepath.Join(dir, "nginx-seq.plx")
+	run(true, "protect", "-prog", "nginx", "-mode", "xor", "-o", seq)
+	same, err := filesEqual(seq, filepath.Join(dir, "batch", "nginx-xor.plx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("batch image differs from sequential protect output")
+	}
+
 	// Unknown command and missing flags fail loudly.
 	run(false, "bogus")
 	run(false, "build", "-prog", "nope", "-o", filepath.Join(dir, "x.plx"))
+
+	// Bad input exits 2; internal faults exit 1 — scripts can tell the
+	// difference.
+	wantExit := func(code int, args ...string) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != code {
+			t.Errorf("parallax %v: err=%v, want exit %d\n%s", args, err, code, out)
+		}
+		if len(out) != 0 && !strings.Contains(string(out), "parallax") {
+			t.Errorf("parallax %v: diagnostics not on stderr-style message: %s", args, out)
+		}
+	}
+	wantExit(2, "build", "-prog", "nope", "-o", filepath.Join(dir, "x.plx"))
+	wantExit(2, "protect", "-prog", "wget", "-mode", "bogus", "-o", filepath.Join(dir, "x.plx"))
+	wantExit(2, "protect", "-prog", "wget", "-verify", "nope", "-o", filepath.Join(dir, "x.plx"))
+	wantExit(2, "run") // missing image path
+	wantExit(2, "batch", "-modes", "bogus")
+	wantExit(1, "run", filepath.Join(dir, "does-not-exist.plx"))
+	wantExit(1, "gadgets", filepath.Join(dir, "does-not-exist.plx"))
+}
+
+func filesEqual(a, b string) (bool, error) {
+	da, err := os.ReadFile(a)
+	if err != nil {
+		return false, err
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(da, db), nil
 }
 
 func firstLine(s string) string {

@@ -60,6 +60,41 @@ type Options struct {
 
 	// Layout overrides the link layout.
 	Layout image.Layout
+
+	// ScanFunc overrides the gadget scanner used inside the fixpoint
+	// pipeline. It must be observationally identical to gadget.Scan
+	// (same catalog for the same image bytes) — the hook exists so
+	// batch drivers such as internal/farm can interpose a
+	// content-addressed cache. Nil means gadget.Scan. The returned
+	// catalog must not be mutated by the scanner afterwards.
+	ScanFunc func(*image.Image, gadget.ScanConfig) *gadget.Catalog
+	// Hints seeds the link→scan→compile fixpoint with the converged
+	// sizes of a previous run. Correctness never depends on them: the
+	// fixpoint still verifies convergence, so wrong hints only cost
+	// extra passes. Hints from a converged run of the *same* module
+	// and options let the pipeline converge in a single pass.
+	Hints *Hints
+}
+
+// Hints captures the converged fixpoint sizes of a Protect run: chain
+// byte lengths, exit-pointer indices and dynamic-generation table
+// sizes per verification function. Feeding them back into a later run
+// of the same module and options (Options.Hints) skips the size
+// discovery passes; the result is byte-identical because the final
+// image is a pure function of the converged sizes.
+type Hints struct {
+	ChainLens map[string]int
+	ExitIdxs  map[string]int
+	OffsLens  map[string]int
+	IdxLens   map[string]int
+}
+
+func copyHintMap(src map[string]int, n int) map[string]int {
+	dst := make(map[string]int, n)
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
 }
 
 // Protected is the result of a Protect run.
@@ -90,6 +125,9 @@ type Protected struct {
 	OverlapGadgets int
 	// TotalGadgetSlots counts all gadget words across chains.
 	TotalGadgetSlots int
+	// Hints are the converged fixpoint sizes of this run; feed them to
+	// Options.Hints of an identical run to converge in one pass.
+	Hints Hints
 }
 
 // Protect builds and protects a module.
@@ -182,6 +220,16 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 	exitIdxs := make(map[string]int, len(verify))
 	offsLens := make(map[string]int, len(verify))
 	idxLens := make(map[string]int, len(verify))
+	if h := opts.Hints; h != nil {
+		chainLens = copyHintMap(h.ChainLens, len(verify))
+		exitIdxs = copyHintMap(h.ExitIdxs, len(verify))
+		offsLens = copyHintMap(h.OffsLens, len(verify))
+		idxLens = copyHintMap(h.IdxLens, len(verify))
+	}
+	scan := opts.ScanFunc
+	if scan == nil {
+		scan = gadget.Scan
+	}
 	var (
 		img     *image.Image
 		catalog *gadget.Catalog
@@ -198,7 +246,7 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		if err != nil {
 			return nil, err
 		}
-		catalog = gadget.Scan(img, gadget.ScanConfig{})
+		catalog = scan(img, gadget.ScanConfig{})
 		env := &ropc.Env{
 			Catalog:    catalog,
 			GlobalAddr: symResolver(img),
@@ -255,6 +303,10 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		RewriteSites: rewriteSites,
 		Mode:         opts.ChainMode,
 		Tables:       tables,
+		Hints: Hints{
+			ChainLens: chainLens, ExitIdxs: exitIdxs,
+			OffsLens: offsLens, IdxLens: idxLens,
+		},
 	}
 	isOverlap := preferOverlap(img, verify)
 	for _, ch := range chains {

@@ -1,0 +1,307 @@
+// Package farm is the concurrent batch-protection service: it runs
+// many core.Protect jobs over a bounded worker pool and memoizes the
+// expensive pure stages (gadget scan + classification, fixpoint layout
+// sizes) in a content-addressed cache shared by all jobs.
+//
+// The acceptance bar is determinism: a job's output image is
+// byte-identical to a sequential core.Protect of the same module and
+// options, regardless of worker count, submission order, or cache
+// state. That holds because every cached stage is a pure function of
+// its content key — a catalog is keyed by the exact executable bytes
+// it was scanned from, and layout hints are keyed by the full job
+// content and merely let the (still verified) fixpoint converge in one
+// pass.
+//
+// Cancellation is cooperative at job granularity: a cancelled context
+// fails jobs still in the queue promptly, but a job already inside
+// core.Protect runs to completion (the pipeline is not preemptible).
+// A panic inside a pipeline stage is confined to the job: the worker
+// survives and the job reports a *PanicError.
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parallax/internal/core"
+	"parallax/internal/ir"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("farm: closed")
+
+// PanicError wraps a panic recovered from a protection pipeline stage.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline panic: %v", e.Value)
+}
+
+// Config sizes a Farm.
+type Config struct {
+	// Workers is the worker-goroutine count; values below 1 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds the number of accepted-but-not-running jobs; a full
+	// queue makes Submit block (backpressure). Values below 1 mean
+	// 2×Workers.
+	Queue int
+	// Cache is the stage cache to use; nil means a fresh private one.
+	// Sharing a warm Cache across farms is safe and useful.
+	Cache *Cache
+}
+
+// Farm is a worker pool executing protection jobs. Create with New,
+// feed with Submit, stop with Close.
+type Farm struct {
+	cache *Cache
+	ct    counters
+	jobs  chan *Job
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New starts a farm. The returned farm accepts jobs until Close.
+func New(cfg Config) *Farm {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue < 1 {
+		cfg.Queue = 2 * cfg.Workers
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewCache()
+	}
+	f := &Farm{
+		cache: cfg.Cache,
+		jobs:  make(chan *Job, cfg.Queue),
+	}
+	f.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go f.worker()
+	}
+	return f
+}
+
+// Cache returns the farm's stage cache (to share with another farm).
+func (f *Farm) Cache() *Cache { return f.cache }
+
+// Stats returns a point-in-time snapshot of the farm's counters.
+func (f *Farm) Stats() Stats { return f.ct.snapshot() }
+
+// Close stops accepting jobs, waits for queued and running jobs to
+// finish, and stops the workers. It is idempotent and safe to call
+// concurrently with Submit (late submits fail with ErrClosed).
+func (f *Farm) Close() {
+	f.closeMu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.jobs)
+	}
+	f.closeMu.Unlock()
+	f.wg.Wait()
+}
+
+// Job states (atomic).
+const (
+	stateQueued int32 = iota
+	stateRunning
+	stateDone
+)
+
+// Job is the future returned by Submit.
+type Job struct {
+	// Name labels the job in errors and reports.
+	Name string
+
+	ctx       context.Context
+	module    *ir.Module
+	opts      core.Options
+	submitted time.Time
+	state     int32
+	done      chan struct{}
+	res       Result
+}
+
+// Result is the outcome of a finished job.
+type Result struct {
+	// Name echoes the job label.
+	Name string
+	// Protected is the protection output; nil when Err is set.
+	Protected *core.Protected
+	// Err is the job failure, wrapped with the job name. Invalid
+	// options, pipeline errors, cancellation and recovered panics all
+	// land here; the worker itself never dies.
+	Err error
+
+	// QueueWait is the submit→start latency; Runtime the pipeline time.
+	QueueWait time.Duration
+	Runtime   time.Duration
+
+	// ScanHits/ScanMisses count this job's gadget-scan cache lookups.
+	ScanHits   uint64
+	ScanMisses uint64
+	// HintUsed reports whether cached fixpoint sizes seeded this job.
+	HintUsed bool
+}
+
+// Done is closed when the job has finished (or was cancelled while
+// queued).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx expires. The error return
+// concerns the wait itself; a job failure is reported in Result.Err.
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-j.done:
+		return j.res, nil
+	case <-ctx.Done():
+		return Result{Name: j.Name}, fmt.Errorf("farm: waiting for job %q: %w", j.Name, ctx.Err())
+	}
+}
+
+// Submit enqueues a protection job and returns its future. It blocks
+// when the queue is full and fails if ctx is cancelled while blocked
+// or the farm is closed. The job observes ctx too: cancellation fails
+// it promptly while queued (a job already running completes).
+func (f *Farm) Submit(ctx context.Context, name string, m *ir.Module, opts core.Options) (*Job, error) {
+	if m == nil {
+		return nil, fmt.Errorf("farm: job %q: nil module", name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &Job{
+		Name:      name,
+		ctx:       ctx,
+		module:    m,
+		opts:      opts,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.res.Name = name
+
+	f.closeMu.RLock()
+	defer f.closeMu.RUnlock()
+	if f.closed {
+		return nil, fmt.Errorf("farm: job %q: %w", name, ErrClosed)
+	}
+	atomic.AddInt64(&f.ct.queueDepth, 1)
+	select {
+	case f.jobs <- j:
+	case <-ctx.Done():
+		atomic.AddInt64(&f.ct.queueDepth, -1)
+		return nil, fmt.Errorf("farm: submitting job %q: %w", name, ctx.Err())
+	}
+	atomic.AddUint64(&f.ct.submitted, 1)
+	go j.watchCancel(&f.ct)
+	return j, nil
+}
+
+// Protect is Submit followed by Wait: a one-call synchronous protect
+// through the farm's cache and pool.
+func (f *Farm) Protect(ctx context.Context, name string, m *ir.Module, opts core.Options) (*core.Protected, error) {
+	j, err := f.Submit(ctx, name, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := j.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Protected, res.Err
+}
+
+// watchCancel fails the job early if its context is cancelled while it
+// still sits in the queue. The queued→done transition is arbitrated by
+// the state CAS, so a worker that dequeues the job afterwards skips it.
+func (j *Job) watchCancel(ct *counters) {
+	select {
+	case <-j.ctx.Done():
+		if atomic.CompareAndSwapInt32(&j.state, stateQueued, stateDone) {
+			j.res.QueueWait = time.Since(j.submitted)
+			j.res.Err = fmt.Errorf("farm: job %q cancelled while queued: %w", j.Name, j.ctx.Err())
+			atomic.AddInt64(&ct.queueDepth, -1)
+			atomic.AddUint64(&ct.cancelled, 1)
+			close(j.done)
+		}
+	case <-j.done:
+	}
+}
+
+func (f *Farm) worker() {
+	defer f.wg.Done()
+	for j := range f.jobs {
+		if !atomic.CompareAndSwapInt32(&j.state, stateQueued, stateRunning) {
+			continue // cancelled while queued; watcher already closed it
+		}
+		atomic.AddInt64(&f.ct.queueDepth, -1)
+		j.res.QueueWait = time.Since(j.submitted)
+		atomic.AddInt64(&f.ct.queueNanos, j.res.QueueWait.Nanoseconds())
+		f.run(j)
+		atomic.StoreInt32(&j.state, stateDone)
+		close(j.done)
+	}
+}
+
+func (f *Farm) run(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		j.res.Err = fmt.Errorf("farm: job %q cancelled: %w", j.Name, err)
+		atomic.AddUint64(&f.ct.cancelled, 1)
+		return
+	}
+	start := time.Now()
+	prot, err := f.protect(j)
+	j.res.Runtime = time.Since(start)
+	atomic.AddInt64(&f.ct.protectNanos, j.res.Runtime.Nanoseconds())
+	if err != nil {
+		j.res.Err = err
+		atomic.AddUint64(&f.ct.failed, 1)
+		return
+	}
+	j.res.Protected = prot
+	atomic.AddUint64(&f.ct.completed, 1)
+}
+
+// protect runs one job through core.Protect with the cache wired in
+// and panics confined to the job.
+func (f *Farm) protect(j *Job) (prot *core.Protected, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddUint64(&f.ct.panics, 1)
+			err = fmt.Errorf("farm: job %q: %w", j.Name,
+				&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	opts := j.opts
+	k := jobKey(j.module, opts)
+	if opts.ScanFunc == nil {
+		opts.ScanFunc = f.cache.scanner(&f.ct, &j.res.ScanHits, &j.res.ScanMisses)
+	}
+	if opts.Hints == nil {
+		if h, ok := f.cache.lookupHints(k); ok {
+			opts.Hints = h
+			j.res.HintUsed = true
+			atomic.AddUint64(&f.ct.hintHits, 1)
+		} else {
+			atomic.AddUint64(&f.ct.hintMisses, 1)
+		}
+	}
+	prot, err = core.Protect(j.module, opts)
+	if err != nil {
+		return nil, fmt.Errorf("farm: job %q: %w", j.Name, err)
+	}
+	f.cache.storeHints(k, prot.Hints)
+	return prot, nil
+}

@@ -1,0 +1,225 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/gadget"
+	"parallax/internal/image"
+	"parallax/internal/ir"
+)
+
+// waitResult waits for a job with a test timeout.
+func waitResult(t *testing.T, j *Job) Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %q did not finish: %v", j.Name, err)
+	}
+	return res
+}
+
+// TestFarmInvalidJobs: bad options fail the job with a wrapped error
+// and leave the worker alive for the next job.
+func TestFarmInvalidJobs(t *testing.T) {
+	p, err := corpus.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	ctx := context.Background()
+
+	// Unknown verification function.
+	j1, err := f.Submit(ctx, "bad-verify", p.Build(),
+		core.Options{VerifyFuncs: []string{"no_such_func"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := waitResult(t, j1); res.Err == nil {
+		t.Error("unknown verify function: job succeeded, want error")
+	} else if !strings.Contains(res.Err.Error(), "bad-verify") {
+		t.Errorf("job error not wrapped with job name: %v", res.Err)
+	}
+
+	// Zero-length module (no functions at all).
+	j2, err := f.Submit(ctx, "empty-module", &ir.Module{Name: "empty"},
+		core.Options{VerifyFuncs: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := waitResult(t, j2); res.Err == nil {
+		t.Error("empty module: job succeeded, want error")
+	}
+
+	// Nil module is rejected at submission.
+	if _, err := f.Submit(ctx, "nil-module", nil, core.Options{}); err == nil {
+		t.Error("nil module accepted")
+	}
+
+	// The worker survived all of the above.
+	prot, err := f.Protect(ctx, "good", p.Build(),
+		core.Options{VerifyFuncs: []string{p.VerifyFunc}})
+	if err != nil || prot == nil {
+		t.Fatalf("valid job after failures: %v", err)
+	}
+	st := f.Stats()
+	if st.JobsFailed != 2 || st.JobsCompleted != 1 {
+		t.Errorf("stats after mixed jobs: %v", st)
+	}
+}
+
+// blockingScan returns a ScanFunc that signals entry and then blocks
+// until release is closed — a deterministic way to occupy a worker.
+func blockingScan(entered chan<- struct{}, release <-chan struct{}) func(*image.Image, gadget.ScanConfig) *gadget.Catalog {
+	var once bool
+	return func(img *image.Image, cfg gadget.ScanConfig) *gadget.Catalog {
+		if !once {
+			once = true
+			entered <- struct{}{}
+			<-release
+		}
+		return gadget.Scan(img, cfg)
+	}
+}
+
+// TestFarmCancelQueued: cancelling a context fails that context's
+// queued jobs promptly, while an unrelated running job is unaffected.
+func TestFarmCancelQueued(t *testing.T) {
+	p, err := corpus.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Workers: 1, Queue: 8})
+	defer f.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocker, err := f.Submit(context.Background(), "blocker", p.Build(), core.Options{
+		VerifyFuncs: []string{p.VerifyFunc},
+		ScanFunc:    blockingScan(entered, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the only worker is now wedged inside the blocker job
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		j, err := f.Submit(ctx, "queued", p.Build(),
+			core.Options{VerifyFuncs: []string{p.VerifyFunc}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	cancel()
+
+	// The queued jobs must fail promptly — the worker is still wedged,
+	// so completion can only come from the cancellation path.
+	for _, j := range queued {
+		res := waitResult(t, j)
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("queued job error = %v, want context.Canceled", res.Err)
+		}
+	}
+	if st := f.Stats(); st.JobsCancelled != 3 {
+		t.Errorf("cancelled count = %d, want 3", st.JobsCancelled)
+	}
+
+	close(release)
+	if res := waitResult(t, blocker); res.Err != nil {
+		t.Errorf("blocker job failed: %v", res.Err)
+	}
+}
+
+// TestFarmPanicIsolation: a panic inside a pipeline stage becomes a
+// job error carrying *PanicError; the worker and farm survive.
+func TestFarmPanicIsolation(t *testing.T) {
+	p, err := corpus.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	ctx := context.Background()
+
+	j, err := f.Submit(ctx, "panicky", p.Build(), core.Options{
+		VerifyFuncs: []string{p.VerifyFunc},
+		ScanFunc: func(*image.Image, gadget.ScanConfig) *gadget.Catalog {
+			panic("injected stage failure")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, j)
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("job error = %v, want *PanicError", res.Err)
+	}
+	if pe.Value != "injected stage failure" || len(pe.Stack) == 0 {
+		t.Errorf("panic error payload: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+
+	// Worker survived: the next job on the same (only) worker runs.
+	if _, err := f.Protect(ctx, "after-panic", p.Build(),
+		core.Options{VerifyFuncs: []string{p.VerifyFunc}}); err != nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+	st := f.Stats()
+	if st.Panics != 1 || st.JobsFailed != 1 || st.JobsCompleted != 1 {
+		t.Errorf("stats after panic: %v", st)
+	}
+}
+
+// TestFarmCloseAndBackpressure: Submit after Close fails with
+// ErrClosed; a full queue plus a dead context fails Submit instead of
+// blocking forever.
+func TestFarmCloseAndBackpressure(t *testing.T) {
+	p, err := corpus.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{VerifyFuncs: []string{p.VerifyFunc}}
+
+	f := New(Config{Workers: 1, Queue: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocker, err := f.Submit(context.Background(), "blocker", p.Build(), core.Options{
+		VerifyFuncs: []string{p.VerifyFunc},
+		ScanFunc:    blockingScan(entered, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Fill the queue (capacity 1), then overflow with a cancelled ctx.
+	queued, err := f.Submit(context.Background(), "queued", p.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Submit(dead, "overflow", p.Build(), opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("overflow submit error = %v, want context.Canceled", err)
+	}
+	close(release)
+	waitResult(t, blocker)
+	waitResult(t, queued)
+	f.Close()
+
+	if _, err := f.Submit(context.Background(), "late", p.Build(), opts); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close error = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	f.Close()
+}

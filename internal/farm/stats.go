@@ -1,0 +1,119 @@
+package farm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the farm's live metric set. All fields are updated with
+// atomics so workers never contend on a lock for bookkeeping.
+type counters struct {
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+	panics    uint64
+
+	scanHits   uint64
+	scanMisses uint64
+	hintHits   uint64
+	hintMisses uint64
+
+	queueDepth int64
+
+	queueNanos   int64
+	scanNanos    int64
+	protectNanos int64
+}
+
+// Stats is a point-in-time snapshot of a farm's counters.
+type Stats struct {
+	// Job lifecycle counts.
+	JobsSubmitted uint64
+	JobsCompleted uint64
+	JobsFailed    uint64
+	JobsCancelled uint64
+	// Panics counts pipeline panics converted to job errors (a subset
+	// of JobsFailed).
+	Panics uint64
+
+	// ScanHits/ScanMisses count content-addressed gadget-scan cache
+	// lookups; a miss is a scan actually run.
+	ScanHits   uint64
+	ScanMisses uint64
+	// HintHits/HintMisses count fixpoint layout-hint cache lookups; a
+	// hit lets core.Protect converge in a single pass.
+	HintHits   uint64
+	HintMisses uint64
+
+	// QueueDepth is the number of jobs accepted but not yet running.
+	QueueDepth int
+
+	// Per-stage time, summed across workers.
+	QueueWait   time.Duration // submit → worker pickup
+	ScanTime    time.Duration // inside gadget.Scan (cache misses only)
+	ProtectTime time.Duration // inside core.Protect, scans included
+}
+
+// ScanHitRate returns the scan-cache hit fraction in [0,1], or 0 when
+// no lookups happened.
+func (s Stats) ScanHitRate() float64 {
+	total := s.ScanHits + s.ScanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ScanHits) / float64(total)
+}
+
+// String renders the snapshot as a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"jobs: %d submitted, %d completed, %d failed, %d cancelled (%d panics), queue %d | "+
+			"scan cache: %d hits / %d misses (%.1f%%), hints: %d/%d | "+
+			"time: queue %v, scan %v, protect %v",
+		s.JobsSubmitted, s.JobsCompleted, s.JobsFailed, s.JobsCancelled, s.Panics,
+		s.QueueDepth,
+		s.ScanHits, s.ScanMisses, 100*s.ScanHitRate(),
+		s.HintHits, s.HintHits+s.HintMisses,
+		s.QueueWait.Round(time.Microsecond), s.ScanTime.Round(time.Microsecond),
+		s.ProtectTime.Round(time.Microsecond))
+}
+
+// Delta returns s minus earlier, for per-round reporting on a
+// long-lived farm. QueueDepth is taken from s as-is.
+func (s Stats) Delta(earlier Stats) Stats {
+	return Stats{
+		JobsSubmitted: s.JobsSubmitted - earlier.JobsSubmitted,
+		JobsCompleted: s.JobsCompleted - earlier.JobsCompleted,
+		JobsFailed:    s.JobsFailed - earlier.JobsFailed,
+		JobsCancelled: s.JobsCancelled - earlier.JobsCancelled,
+		Panics:        s.Panics - earlier.Panics,
+		ScanHits:      s.ScanHits - earlier.ScanHits,
+		ScanMisses:    s.ScanMisses - earlier.ScanMisses,
+		HintHits:      s.HintHits - earlier.HintHits,
+		HintMisses:    s.HintMisses - earlier.HintMisses,
+		QueueDepth:    s.QueueDepth,
+		QueueWait:     s.QueueWait - earlier.QueueWait,
+		ScanTime:      s.ScanTime - earlier.ScanTime,
+		ProtectTime:   s.ProtectTime - earlier.ProtectTime,
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		JobsSubmitted: atomic.LoadUint64(&c.submitted),
+		JobsCompleted: atomic.LoadUint64(&c.completed),
+		JobsFailed:    atomic.LoadUint64(&c.failed),
+		JobsCancelled: atomic.LoadUint64(&c.cancelled),
+		Panics:        atomic.LoadUint64(&c.panics),
+		ScanHits:      atomic.LoadUint64(&c.scanHits),
+		ScanMisses:    atomic.LoadUint64(&c.scanMisses),
+		HintHits:      atomic.LoadUint64(&c.hintHits),
+		HintMisses:    atomic.LoadUint64(&c.hintMisses),
+		QueueDepth:    int(atomic.LoadInt64(&c.queueDepth)),
+		QueueWait:     time.Duration(atomic.LoadInt64(&c.queueNanos)),
+		ScanTime:      time.Duration(atomic.LoadInt64(&c.scanNanos)),
+		ProtectTime:   time.Duration(atomic.LoadInt64(&c.protectNanos)),
+	}
+}
