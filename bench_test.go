@@ -230,7 +230,7 @@ func BenchmarkChainExecution(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := attack.Run(prot.Image, p.Stdin)
+		res := attack.Run(context.Background(), prot.Image, p.Stdin)
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
@@ -262,7 +262,7 @@ func wursterReproduced() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	clean := attack.Run(prot.Image, p.Stdin)
+	clean := attack.Run(context.Background(), prot.Image, p.Stdin)
 	g := prot.Chains[p.VerifyFunc].Gadgets()[0]
 	cpu, err := emu.LoadImage(prot.Image)
 	if err != nil {

@@ -30,6 +30,8 @@ if [[ "$FUZZTIME" != "0" ]]; then
     go test -run='^$' -fuzz=FuzzDecode -fuzztime="$FUZZTIME" ./internal/x86
     echo "==> fuzz smoke: FuzzScan ($FUZZTIME)"
     go test -run='^$' -fuzz=FuzzScan -fuzztime="$FUZZTIME" ./internal/gadget
+    echo "==> fuzz smoke: FuzzImageReadFrom ($FUZZTIME)"
+    go test -run='^$' -fuzz=FuzzImageReadFrom -fuzztime="$FUZZTIME" ./internal/image
 fi
 
 echo "==> ci.sh: all green"

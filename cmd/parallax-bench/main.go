@@ -9,7 +9,8 @@
 //	parallax-bench -experiment oh       oblivious-hashing comparison (§VIII-C)
 //	parallax-bench -experiment prob     probabilistic variant counts (§V-B)
 //	parallax-bench -experiment farm     batch-protection throughput + cache hit rate
-//	parallax-bench -experiment all      everything except farm
+//	parallax-bench -experiment campaign tamper-campaign detection matrix
+//	parallax-bench -experiment all      everything except farm and campaign
 //
 // All numbers except the farm experiment come from the deterministic
 // emulator cycle model; those runs are reproducible bit for bit. The
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ import (
 	"parallax/internal/attack"
 	"parallax/internal/baseline/checksum"
 	"parallax/internal/baseline/oh"
+	"parallax/internal/campaign"
 	"parallax/internal/core"
 	"parallax/internal/corpus"
 	"parallax/internal/dyngen"
@@ -40,20 +43,23 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|all")
+		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|all")
 	workers := flag.String("workers", "1,2,4,8",
 		"comma-separated worker counts for -experiment farm")
+	progs := flag.String("progs", "wget",
+		"comma-separated corpus programs for -experiment campaign")
 	flag.Parse()
 
 	runs := map[string]func() error{
-		"fig6":    fig6,
-		"fig5a":   fig5a,
-		"fig5b":   fig5b,
-		"uchain":  uchain,
-		"wurster": wurster,
-		"oh":      ohExperiment,
-		"prob":    probExperiment,
-		"farm":    func() error { return farmExperiment(*workers) },
+		"fig6":     fig6,
+		"fig5a":    fig5a,
+		"fig5b":    fig5b,
+		"uchain":   uchain,
+		"wurster":  wurster,
+		"oh":       ohExperiment,
+		"prob":     probExperiment,
+		"farm":     func() error { return farmExperiment(*workers) },
+		"campaign": func() error { return campaignExperiment(*progs) },
 	}
 	order := []string{"fig6", "fig5a", "fig5b", "uchain", "wurster", "oh", "prob"}
 
@@ -170,7 +176,7 @@ func wurster() error {
 	if err != nil {
 		return err
 	}
-	clean := attack.Run(cs.Image, nil)
+	clean := attack.Run(context.Background(), cs.Image, nil)
 	sym := cs.Image.MustSymbol("validate")
 	patch := []byte{0xB8, 0x01, 0x00, 0x00, 0x00, 0xC3} // mov eax,1; ret
 
@@ -178,7 +184,7 @@ func wurster() error {
 	if err := attack.PatchBytes(static, sym.Addr, patch); err != nil {
 		return err
 	}
-	staticRes := attack.Run(static, nil)
+	staticRes := attack.Run(context.Background(), static, nil)
 
 	cpu, err := emu.LoadImage(cs.Image)
 	if err != nil {
@@ -206,14 +212,14 @@ func wurster() error {
 	if err != nil {
 		return err
 	}
-	pClean := attack.Run(prot.Image, nil)
+	pClean := attack.Run(context.Background(), prot.Image, nil)
 	g := prot.Chains["validate"].Gadgets()[0]
 
 	pStatic := prot.Image.Clone()
 	if err := attack.PatchBytes(pStatic, g.Addr, []byte{0xCC}); err != nil {
 		return err
 	}
-	pStaticRes := attack.Run(pStatic, nil)
+	pStaticRes := attack.Run(context.Background(), pStatic, nil)
 
 	cpu2, err := emu.LoadImage(prot.Image)
 	if err != nil {
@@ -261,7 +267,7 @@ func ohExperiment() error {
 	if err != nil {
 		return err
 	}
-	clean := attack.Run(img, nil)
+	clean := attack.Run(context.Background(), img, nil)
 	fmt.Printf("OH clean run:                       status=%d\n", clean.Status)
 
 	// Non-determinism: run the ptrace detector under OH.
@@ -482,4 +488,32 @@ func ptraceModuleChainable() *ir.Module {
 	fb.Ret(fb.Add(d, hundred))
 	mb.SetEntry("main")
 	return mb.MustBuild()
+}
+
+// campaignExperiment sweeps the tamper campaign over the named corpus
+// programs and prints each detection-coverage matrix. Wall-clock heavy
+// (thousands of emulated mutant runs), so it is excluded from
+// -experiment all, like farm.
+func campaignExperiment(progs string) error {
+	header("campaign — tamper-mutation detection matrix")
+	var names []string
+	for _, n := range strings.Split(progs, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	results, err := experiment.Campaign(context.Background(), names, campaign.Config{
+		Stride:     3,
+		MaxMutants: 2048,
+		MaxInst:    20_000_000,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("\n-- %s --\n%s", r.Program, r.Report)
+	}
+	fmt.Println("\nchain-detected = run faulted inside chain-guarded bytes (or a guarded-site")
+	fmt.Println("mutation diverged): the paper's implicit detection. silent = undetected.")
+	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"parallax/internal/campaign"
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+)
+
+// cmdCampaign protects a corpus program and sweeps a tamper campaign
+// over the protected image, printing the detection-coverage matrix.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	prog := fs.String("prog", "", "corpus program name")
+	verify := fs.String("verify", "", "verification function (default: program's candidate)")
+	mode := fs.String("mode", "static", "chain mode: static|xor|rc4|prob")
+	stride := fs.Int("stride", 3, "byte step between mutation sites")
+	maxMutants := fs.Int("max-mutants", 2048, "campaign size cap (deterministic downsample)")
+	workers := fs.Int("workers", 0, "concurrent executors (0 = GOMAXPROCS)")
+	maxInst := fs.Uint64("max", 20_000_000, "per-mutant instruction budget")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-mutant wall-clock watchdog")
+	kindsFlag := fs.String("kinds", "", "mutation kinds, comma-separated: bitflip,byteset,nopsweep,serial (default all)")
+	fs.Parse(args)
+
+	p, err := corpus.ByName(*prog)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	chainMode, err := parseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+
+	m := p.Build()
+	opts := core.Options{ChainMode: chainMode, Workload: p.Stdin}
+	if *verify != "" {
+		if m.Func(*verify) == nil {
+			return usagef("no function %q in %s", *verify, p.Name)
+		}
+		opts.VerifyFuncs = []string{*verify}
+	} else {
+		opts.VerifyFuncs = []string{p.VerifyFunc}
+	}
+	prot, err := core.Protect(m, opts)
+	if err != nil {
+		return fmt.Errorf("protecting %s: %w", p.Name, err)
+	}
+
+	rep, err := campaign.Run(context.Background(), prot, campaign.Config{
+		Workers:    *workers,
+		MaxInst:    *maxInst,
+		Timeout:    *timeout,
+		Stride:     *stride,
+		MaxMutants: *maxMutants,
+		Kinds:      kinds,
+		Stdin:      p.Stdin,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign over %s: %w", p.Name, err)
+	}
+	fmt.Printf("tamper campaign: %s (%s chains, stride %d)\n%s",
+		p.Name, *mode, *stride, rep)
+	return nil
+}
+
+// parseKinds maps a comma list onto mutation kinds; empty means all.
+func parseKinds(s string) ([]campaign.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []campaign.Kind
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "bitflip":
+			out = append(out, campaign.KindBitFlip)
+		case "byteset":
+			out = append(out, campaign.KindByteSet)
+		case "nopsweep":
+			out = append(out, campaign.KindNopSweep)
+		case "serial":
+			out = append(out, campaign.KindSerial)
+		default:
+			return nil, fmt.Errorf("unknown mutation kind %q (want bitflip|byteset|nopsweep|serial)", name)
+		}
+	}
+	return out, nil
+}

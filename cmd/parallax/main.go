@@ -13,6 +13,7 @@
 //	parallax disasm  wget-p.plx [-func main]
 //	parallax coverage -prog wget
 //	parallax attack  wget-p.plx -addr 0x8048123 -hex cc -o cracked.plx
+//	parallax campaign -prog wget [-stride 3] [-max-mutants 2048] [-kinds bitflip,serial]
 package main
 
 import (
@@ -74,6 +75,8 @@ func main() {
 		err = cmdIR(args)
 	case "attack":
 		err = cmdAttack(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -104,6 +107,8 @@ commands:
   coverage  measure protectable code bytes (Figure 6, one program)
   ir        dump a corpus program's IR
   attack    patch bytes in an image (software cracking)
+  campaign  sweep tamper mutations over a protected program and
+            report the per-region detection-coverage matrix
 
 run 'parallax <command> -h' for flags; corpus programs:
   wget nginx bzip2 gzip gcc lame`)

@@ -131,6 +131,25 @@ func TestCLIEndToEnd(t *testing.T) {
 	wantExit(2, "batch", "-modes", "bogus")
 	wantExit(1, "run", filepath.Join(dir, "does-not-exist.plx"))
 	wantExit(1, "gadgets", filepath.Join(dir, "does-not-exist.plx"))
+
+	// Campaign: a small sweep must produce a matrix with chain
+	// detections and no silent acceptance of the serialized corruption.
+	out = run(true, "campaign", "-prog", "nginx", "-stride", "17",
+		"-max-mutants", "200", "-kinds", "byteset,serial")
+	if !strings.Contains(out, "guarded-site chain detection:") ||
+		!strings.Contains(out, "(serialized)") {
+		t.Errorf("campaign output missing matrix:\n%s", out)
+	}
+	if strings.Contains(out, "harness panics: 0") == false {
+		t.Errorf("campaign reported panics:\n%s", out)
+	}
+	// Usage errors exit 2; an unrunnable campaign (clean reference run
+	// dies on a starvation budget) is an internal fault, exit 1.
+	wantExit(2, "campaign", "-prog", "nope")
+	wantExit(2, "campaign", "-prog", "nginx", "-kinds", "bogus")
+	wantExit(2, "campaign", "-prog", "nginx", "-verify", "nope")
+	wantExit(2, "campaign", "-prog", "nginx", "-mode", "bogus")
+	wantExit(1, "campaign", "-prog", "nginx", "-max", "100")
 }
 
 func filesEqual(a, b string) (bool, error) {

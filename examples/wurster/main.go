@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,7 @@ func main() {
 	if err := attack.PatchBytes(static, sym.Addr, crack); err != nil {
 		log.Fatal(err)
 	}
-	res := attack.Run(static, nil)
+	res := attack.Run(context.Background(), static, nil)
 	fmt.Printf("static crack:        status=%d (tamper response is %d)\n",
 		res.Status, checksum.TamperStatus)
 
@@ -103,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean := attack.Run(prot.Image, nil)
+	clean := attack.Run(context.Background(), prot.Image, nil)
 	fmt.Printf("clean run:           status=%d\n", clean.Status)
 
 	g := prot.Chains["validate"].Gadgets()[0]

@@ -10,6 +10,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"parallax/internal/emu"
@@ -139,6 +140,10 @@ type RunResult struct {
 	Stdout string
 	Err    error
 	Icount uint64
+	// EIP is the final program counter — for faulting runs, the address
+	// of the instruction that died, which campaign analysis attributes
+	// to chain gadgets vs. ordinary code.
+	EIP uint32
 }
 
 // RunConfig tunes Run's environment.
@@ -149,50 +154,54 @@ type RunConfig struct {
 	DebuggerAttached bool
 	// MaxInst bounds the run (0 = 50M).
 	MaxInst uint64
+	// StackSize / MemBudget configure the emulator loader (0 = defaults).
+	StackSize uint32
+	MemBudget uint64
+	// CheckStride is the cancellation-poll stride in instructions
+	// (0 = emulator default).
+	CheckStride uint64
 }
 
-// RunWith executes an image under a configured kernel.
-func RunWith(img *image.Image, cfg RunConfig) RunResult {
-	cpu, err := emu.LoadImage(img)
+// RunWith executes an image under a configured kernel. The context is a
+// hard watchdog: when it expires or is cancelled, the run stops within
+// one poll stride and the result carries an emu.DeadlineError. Load and
+// run failures are reported in the result, never panicked, so attacked
+// or corrupted images can be swept mechanically.
+func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
+	cpu, err := emu.LoadImageWith(img, emu.LoadConfig{
+		StackSize: cfg.StackSize,
+		MemBudget: cfg.MemBudget,
+	})
 	if err != nil {
 		return RunResult{Err: err}
 	}
 	cpu.MaxInst = cfg.MaxInst
 	if cpu.MaxInst == 0 {
+		// Attacked binaries frequently spin; bound the run so a hang
+		// reads as a malfunction rather than stalling the caller.
 		cpu.MaxInst = 50_000_000
+	}
+	if cfg.CheckStride != 0 {
+		cpu.CheckStride = cfg.CheckStride
 	}
 	os := emu.NewOS(cfg.Stdin)
 	os.DebuggerAttached = cfg.DebuggerAttached
 	cpu.OS = os
-	err = cpu.Run()
+	err = cpu.RunContext(ctx)
 	return RunResult{
 		Status: cpu.Status,
 		Stdout: os.Stdout.String(),
 		Err:    err,
 		Icount: cpu.Icount,
+		EIP:    cpu.EIP,
 	}
 }
 
 // Run executes an image under a fresh kernel and reports the outcome;
 // never failing, so attacked runs (which may fault) can be compared
 // uniformly.
-func Run(img *image.Image, stdin []byte) RunResult {
-	cpu, err := emu.LoadImage(img)
-	if err != nil {
-		return RunResult{Err: err}
-	}
-	// Attacked binaries frequently spin; bound the run so a hang reads
-	// as a malfunction rather than stalling the caller.
-	cpu.MaxInst = 50_000_000
-	os := emu.NewOS(stdin)
-	cpu.OS = os
-	err = cpu.Run()
-	return RunResult{
-		Status: cpu.Status,
-		Stdout: os.Stdout.String(),
-		Err:    err,
-		Icount: cpu.Icount,
-	}
+func Run(ctx context.Context, img *image.Image, stdin []byte) RunResult {
+	return RunWith(ctx, img, RunConfig{Stdin: stdin})
 }
 
 // Same reports whether two run results are observationally identical.

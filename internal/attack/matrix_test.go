@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"testing"
 
 	"parallax/internal/core"
@@ -68,7 +69,7 @@ func protectedTarget(t *testing.T) *core.Protected {
 // through the very fetch path the attack controls.
 func TestParallaxSurvivesWurster(t *testing.T) {
 	p := protectedTarget(t)
-	clean := Run(p.Image, nil)
+	clean := Run(context.Background(), p.Image, nil)
 	if clean.Err != nil {
 		t.Fatal(clean.Err)
 	}
@@ -109,7 +110,7 @@ func TestParallaxSurvivesWurster(t *testing.T) {
 // gadget derails the program.
 func TestRuntimePatchDetected(t *testing.T) {
 	p := protectedTarget(t)
-	clean := Run(p.Image, nil)
+	clean := Run(context.Background(), p.Image, nil)
 
 	g := p.Chains["mix"].Gadgets()[1]
 	cpu, err := emu.LoadImage(p.Image)
@@ -131,7 +132,7 @@ func TestRuntimePatchDetected(t *testing.T) {
 // verification run — repeated verification shrinks that window.
 func TestCodeRestoreWindow(t *testing.T) {
 	p := protectedTarget(t)
-	clean := Run(p.Image, nil)
+	clean := Run(context.Background(), p.Image, nil)
 	mix := p.Image.MustSymbol("mix")
 	g := p.Chains["mix"].Gadgets()[0]
 
@@ -214,11 +215,11 @@ func TestForceJumpAndInvertCond(t *testing.T) {
 	if err := InvertCond(inverted, jccAddr); err != nil {
 		t.Fatal(err)
 	}
-	clean := Run(p.Image, nil)
+	clean := Run(context.Background(), p.Image, nil)
 	// Both patches change main's control flow; whatever happens, it
 	// must not be the clean outcome (main is not chain-protected here,
 	// so we only check the helpers actually modify behaviour).
-	if Run(forced, nil).Same(clean) && Run(inverted, nil).Same(clean) {
+	if Run(context.Background(), forced, nil).Same(clean) && Run(context.Background(), inverted, nil).Same(clean) {
 		t.Error("neither patch changed program behaviour")
 	}
 }

@@ -108,9 +108,13 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 			sym string
 			v   uint32
 		}{{loSym(i), lo}, {hiSym(i), hi}, {wantSym(i), want}} {
+			sym, err := img.Lookup(w.sym)
+			if err != nil {
+				return nil, fmt.Errorf("checksum: install checker %d: %w", i, err)
+			}
 			buf := make([]byte, 4)
 			binary.LittleEndian.PutUint32(buf, w.v)
-			if err := img.WriteAt(img.MustSymbol(w.sym).Addr, buf); err != nil {
+			if err := img.WriteAt(sym.Addr, buf); err != nil {
 				return nil, err
 			}
 		}

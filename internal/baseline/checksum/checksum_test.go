@@ -1,6 +1,7 @@
 package checksum
 
 import (
+	"context"
 	"testing"
 
 	"parallax/internal/attack"
@@ -45,8 +46,8 @@ func TestChecksumCleanRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := attack.Run(p.Baseline, nil)
-	got := attack.Run(p.Image, nil)
+	want := attack.Run(context.Background(), p.Baseline, nil)
+	got := attack.Run(context.Background(), p.Image, nil)
 	if want.Err != nil || got.Err != nil {
 		t.Fatalf("errors: baseline=%v protected=%v", want.Err, got.Err)
 	}
@@ -68,7 +69,7 @@ func TestChecksumDetectsStaticPatch(t *testing.T) {
 	if err := attack.NopOut(tampered, sym.Addr, 4); err != nil {
 		t.Fatal(err)
 	}
-	res := attack.Run(tampered, nil)
+	res := attack.Run(context.Background(), tampered, nil)
 	if res.Status != TamperStatus {
 		t.Fatalf("status = %d (err=%v), want tamper response %d",
 			res.Status, res.Err, TamperStatus)
@@ -92,8 +93,8 @@ func TestChecksumCrossVerification(t *testing.T) {
 	if err := attack.PatchBytes(tampered, sym.Addr+8, []byte{orig[0] ^ 0xFF}); err != nil {
 		t.Fatal(err)
 	}
-	res := attack.Run(tampered, nil)
-	clean := attack.Run(p.Image, nil)
+	res := attack.Run(context.Background(), tampered, nil)
+	clean := attack.Run(context.Background(), p.Image, nil)
 	// The checker's bytes are covered by the network: the tampered
 	// binary must either trip the explicit response or malfunction
 	// before producing the clean result (the patched checker may crash
@@ -125,7 +126,7 @@ func TestWursterDefeatsChecksumming(t *testing.T) {
 	if err := attack.PatchBytes(static, sym.Addr, patch); err != nil {
 		t.Fatal(err)
 	}
-	if res := attack.Run(static, nil); res.Status != TamperStatus {
+	if res := attack.Run(context.Background(), static, nil); res.Status != TamperStatus {
 		t.Fatalf("static patch undetected: %d", res.Status)
 	}
 

@@ -196,7 +196,10 @@ func Calibrate(p *Protected, stdin []byte) (*image.Image, error) {
 	if err := cpu.Run(); err != nil {
 		return nil, fmt.Errorf("oh: calibration run failed: %w", err)
 	}
-	tab := p.Image.MustSymbol(tabSym)
+	tab, err := p.Image.Lookup(tabSym)
+	if err != nil {
+		return nil, fmt.Errorf("oh: calibrate: %w", err)
+	}
 	raw, err := cpu.Mem.Peek(tab.Addr, tab.Size)
 	if err != nil {
 		return nil, err
@@ -211,7 +214,11 @@ func Calibrate(p *Protected, stdin []byte) (*image.Image, error) {
 		return nil, err
 	}
 	// Switch to enforcing.
-	if err := out.WriteAt(out.MustSymbol(modeSym).Addr, []byte{0, 0, 0, 0}); err != nil {
+	mode, err := out.Lookup(modeSym)
+	if err != nil {
+		return nil, fmt.Errorf("oh: calibrate: %w", err)
+	}
+	if err := out.WriteAt(mode.Addr, []byte{0, 0, 0, 0}); err != nil {
 		return nil, err
 	}
 	return out, nil

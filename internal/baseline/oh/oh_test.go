@@ -1,6 +1,7 @@
 package oh
 
 import (
+	"context"
 	"testing"
 
 	"parallax/internal/attack"
@@ -75,8 +76,8 @@ func TestOHCleanAfterCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := attack.Run(p.Baseline, nil)
-	got := attack.Run(img, nil)
+	want := attack.Run(context.Background(), p.Baseline, nil)
+	got := attack.Run(context.Background(), img, nil)
 	if got.Err != nil || got.Status != want.Status {
 		t.Fatalf("calibrated run: status=%d err=%v, want %d", got.Status, got.Err, want.Status)
 	}
@@ -114,7 +115,7 @@ func TestOHDetectsSemanticTamper(t *testing.T) {
 	if !patched {
 		t.Fatal("could not locate the constant to tamper")
 	}
-	res := attack.Run(tampered, nil)
+	res := attack.Run(context.Background(), tampered, nil)
 	if res.Status != TamperStatus {
 		t.Fatalf("status = %d (err=%v), want tamper response %d", res.Status, res.Err, TamperStatus)
 	}
@@ -179,7 +180,7 @@ func TestOHFalseAlarmOnNondeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean := attack.Run(img, nil)
+	clean := attack.Run(context.Background(), img, nil)
 	if clean.Status != 100 {
 		t.Fatalf("clean run status = %d (err=%v), want 100", clean.Status, clean.Err)
 	}

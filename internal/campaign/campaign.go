@@ -1,0 +1,226 @@
+// Package campaign is the exhaustive tamper-campaign engine: it
+// enumerates byte-level mutations over a protected image (bit flips,
+// byte patches, NOP sweeps, serialized-form corruption), executes every
+// mutant under the emulator with hard watchdog budgets, and classifies
+// each outcome into a per-region detection-coverage matrix.
+//
+// The matrix quantifies the paper's central claim — tampering with
+// protected instructions destroys the gadgets the verification chains
+// execute, so modifications surface as chain malfunction without any
+// explicit checksum. A mutant is chain-detected when it faults inside
+// chain-guarded bytes (gadget spans or parallax chain data) or when a
+// mutation of a guarded site survives to a divergent exit; crash-fault
+// when it dies elsewhere; timeout when the watchdog kills a hang;
+// silent when the mutated program is observationally identical to the
+// clean run. Serialized-form mutants rejected by the hardened loader
+// are counted separately — a corruption the toolchain refuses to load
+// never reaches execution.
+//
+// The engine is hardened for hostile inputs by construction: every
+// mutant runs under a context deadline and instruction budget, panics
+// in the harness are confined and counted, and the campaign is
+// deterministic for a given image and config.
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parallax/internal/attack"
+	"parallax/internal/core"
+	"parallax/internal/emu"
+	"parallax/internal/image"
+)
+
+// Config tunes a campaign.
+type Config struct {
+	// Workers is the concurrent mutant-executor count; below 1 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxInst bounds each mutant run (0 = 5M instructions).
+	MaxInst uint64
+	// Timeout is the per-mutant wall-clock watchdog (0 = 2s).
+	Timeout time.Duration
+	// Stride is the byte step between mutation sites (0 = 1: every
+	// byte).
+	Stride int
+	// MaxMutants caps the campaign size; enumeration downsamples
+	// deterministically above it (0 = 4096).
+	MaxMutants int
+	// Kinds selects the mutation kinds (nil = AllKinds).
+	Kinds []Kind
+	// Stdin is the workload fed to every run, clean and mutated.
+	Stdin []byte
+	// MemBudget / StackSize bound each mutant's emulator (0 =
+	// defaults).
+	MemBudget uint64
+	StackSize uint32
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInst == 0 {
+		cfg.MaxInst = 5_000_000
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Stride < 1 {
+		cfg.Stride = 1
+	}
+	if cfg.MaxMutants == 0 {
+		cfg.MaxMutants = 4096
+	}
+	if cfg.Kinds == nil {
+		cfg.Kinds = AllKinds()
+	}
+	return cfg
+}
+
+// Run executes a tamper campaign against a protected image and returns
+// its detection-coverage matrix. The context cancels the whole
+// campaign; each mutant additionally runs under cfg.Timeout and
+// cfg.MaxInst. Run never panics on any mutant — harness panics are
+// recovered, counted in Report.Panics, and classified as crash faults.
+func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if prot == nil || prot.Image == nil {
+		return nil, fmt.Errorf("campaign: nil protected image")
+	}
+
+	// Reference run: the clean image's observable behavior.
+	clean := attack.RunWith(ctx, prot.Image, attack.RunConfig{
+		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
+		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
+	})
+	if clean.Err != nil {
+		return nil, fmt.Errorf("campaign: clean reference run failed: %w", clean.Err)
+	}
+
+	mutants, err := Enumerate(prot, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var stream []byte
+	for _, m := range mutants {
+		if m.Kind == KindSerial {
+			var buf bytes.Buffer
+			if _, err := prot.Image.WriteTo(&buf); err != nil {
+				return nil, fmt.Errorf("campaign: serializing image: %w", err)
+			}
+			stream = buf.Bytes()
+			break
+		}
+	}
+	guard := guardedBytes(prot)
+
+	classes := make([]Class, len(mutants))
+	var panics uint64
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				classes[i] = runOne(ctx, prot.Image, stream, guard, mutants[i], clean, cfg, &panics)
+			}
+		}()
+	}
+feed:
+	for i := range mutants {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: cancelled: %w", err)
+	}
+
+	rep := &Report{Panics: int(atomic.LoadUint64(&panics))}
+	rows := make(map[string]*Row)
+	for i, m := range mutants {
+		rep.add(rows, m, classes[i])
+	}
+	rep.finish(rows)
+	return rep, nil
+}
+
+// runOne executes and classifies a single mutant. It never panics:
+// any harness panic is recovered, counted, and classified as a crash.
+func runOne(ctx context.Context, base *image.Image, stream []byte,
+	guard map[uint32]bool, m Mutant, clean attack.RunResult,
+	cfg Config, panics *uint64) (cls Class) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddUint64(panics, 1)
+			cls = ClassCrash
+		}
+	}()
+
+	var img *image.Image
+	if m.Kind == KindSerial {
+		loaded, err := image.ReadFrom(bytes.NewReader(m.corruptSerial(stream)))
+		if err != nil {
+			return ClassLoaderReject
+		}
+		img = loaded
+	} else {
+		img = base.Clone()
+		if err := m.apply(img); err != nil {
+			// Unpatchable site (enumeration raced initialized-data
+			// bounds): treat as rejected before execution.
+			return ClassLoaderReject
+		}
+	}
+
+	mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	res := attack.RunWith(mctx, img, attack.RunConfig{
+		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
+		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
+	})
+	return classify(m, res, clean, guard)
+}
+
+// classify maps one mutant run outcome onto the matrix classes.
+func classify(m Mutant, res, clean attack.RunResult, guard map[uint32]bool) Class {
+	var de *emu.DeadlineError
+	switch {
+	case res.Err == nil:
+		if res.Status == clean.Status && res.Stdout == clean.Stdout {
+			return ClassSilent
+		}
+		// Divergent but clean exit: a guarded-site mutation that
+		// changed behavior means the chain computed garbage — implicit
+		// detection. An unguarded site diverging is the mutated app
+		// code itself malfunctioning.
+		if m.Guarded {
+			return ClassChain
+		}
+		return ClassCrash
+	case errors.Is(res.Err, emu.ErrInstLimit), errors.As(res.Err, &de):
+		return ClassTimeout
+	default:
+		// The run died. Attribute the fault to the chain when the
+		// mutation hit guarded bytes (the canonical Parallax detection:
+		// a broken gadget derails the chain) or when the final EIP is
+		// itself inside chain-guarded territory.
+		if m.Guarded || guard[res.EIP] {
+			return ClassChain
+		}
+		return ClassCrash
+	}
+}

@@ -256,7 +256,10 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		chains = make(map[string]*ropc.Chain, len(verify))
 		tables = make(map[string]*dyngen.Tables, len(verify))
 		for _, fn := range verify {
-			frame := img.MustSymbol(chain.FrameSym(fn))
+			frame, err := img.Lookup(chain.FrameSym(fn))
+			if err != nil {
+				return nil, fmt.Errorf("core: frame for %s: %w", fn, err)
+			}
 			ch, err := ropc.CompileWith(work.Func(fn), env, frame.Addr,
 				ropc.Options{Mu: opts.MuChains})
 			if err != nil {

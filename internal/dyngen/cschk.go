@@ -84,7 +84,10 @@ func InstallChecker(img *image.Image, fn string, ch *ropc.Chain) error {
 			ch.ExitPtrIndex, words)
 	}
 	hashed := uint32(words - 1) // skip the mutable exit pointer
-	sym := img.MustSymbol(chain.ChainSym(fn))
+	sym, err := img.Lookup(chain.ChainSym(fn))
+	if err != nil {
+		return fmt.Errorf("dyngen: checker for %s: %w", fn, err)
+	}
 	raw, err := img.ReadAt(sym.Addr, 4*hashed)
 	if err != nil {
 		return err
@@ -94,11 +97,19 @@ func InstallChecker(img *image.Image, fn string, ch *ropc.Chain) error {
 		w := binary.LittleEndian.Uint32(raw[4*i:])
 		h = (h ^ w) * 16777619
 	}
+	lenAt, err := img.Lookup(csLenSym(fn))
+	if err != nil {
+		return fmt.Errorf("dyngen: checker for %s: %w", fn, err)
+	}
+	wantAt, err := img.Lookup(csWantSym(fn))
+	if err != nil {
+		return fmt.Errorf("dyngen: checker for %s: %w", fn, err)
+	}
 	buf := make([]byte, 4)
 	binary.LittleEndian.PutUint32(buf, hashed)
-	if err := img.WriteAt(img.MustSymbol(csLenSym(fn)).Addr, buf); err != nil {
+	if err := img.WriteAt(lenAt.Addr, buf); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint32(buf, h)
-	return img.WriteAt(img.MustSymbol(csWantSym(fn)).Addr, buf)
+	return img.WriteAt(wantAt.Addr, buf)
 }

@@ -281,22 +281,41 @@ func buildProbTables(cfg Config, ch *ropc.Chain, env *ropc.Env) (*Tables, error)
 func Install(img *image.Image, cfg Config, ch *ropc.Chain, tb *Tables) error {
 	cfg = cfg.withDefaults()
 	if cfg.Mode == ModeStatic {
-		sym := img.MustSymbol(chain.ChainSym(cfg.Fn))
+		sym, err := img.Lookup(chain.ChainSym(cfg.Fn))
+		if err != nil {
+			return fmt.Errorf("dyngen: install %s: %w", cfg.Fn, err)
+		}
 		return img.WriteAt(sym.Addr, ch.Bytes())
+	}
+	lenAt, err := img.Lookup(cfg.lenSym())
+	if err != nil {
+		return fmt.Errorf("dyngen: install %s: %w", cfg.Fn, err)
 	}
 	lenWord := make([]byte, 4)
 	binary.LittleEndian.PutUint32(lenWord, uint32(len(ch.Words)))
-	if err := img.WriteAt(img.MustSymbol(cfg.lenSym()).Addr, lenWord); err != nil {
+	if err := img.WriteAt(lenAt.Addr, lenWord); err != nil {
 		return err
 	}
 	switch cfg.Mode {
 	case ModeXor, ModeRC4:
-		return img.WriteAt(img.MustSymbol(cfg.EncSym()).Addr, tb.Enc)
+		enc, err := img.Lookup(cfg.EncSym())
+		if err != nil {
+			return fmt.Errorf("dyngen: install %s: %w", cfg.Fn, err)
+		}
+		return img.WriteAt(enc.Addr, tb.Enc)
 	case ModeProb:
-		if err := img.WriteAt(img.MustSymbol(cfg.OffsSym()).Addr, tb.Offs); err != nil {
+		offs, err := img.Lookup(cfg.OffsSym())
+		if err != nil {
+			return fmt.Errorf("dyngen: install %s: %w", cfg.Fn, err)
+		}
+		if err := img.WriteAt(offs.Addr, tb.Offs); err != nil {
 			return err
 		}
-		return img.WriteAt(img.MustSymbol(cfg.IdxSym()).Addr, tb.Idx)
+		idx, err := img.Lookup(cfg.IdxSym())
+		if err != nil {
+			return fmt.Errorf("dyngen: install %s: %w", cfg.Fn, err)
+		}
+		return img.WriteAt(idx.Addr, tb.Idx)
 	}
 	return nil
 }

@@ -69,6 +69,14 @@ type CPU struct {
 	// MaxInst bounds Run; 0 means DefaultMaxInst.
 	MaxInst uint64
 
+	// CheckStride is the instruction interval between context checks
+	// in RunContext; 0 means DefaultCheckStride.
+	CheckStride uint64
+
+	// stackBase is the lowest mapped stack address (set by LoadImage);
+	// pushes faulting just below it classify as stack overflow.
+	stackBase uint32
+
 	// Icount and Cycles are the deterministic performance counters:
 	// executed instructions and modeled cost (see cost.go).
 	Icount uint64
@@ -101,26 +109,10 @@ func New() *CPU {
 
 // LoadImage maps every section of img and a stack, and prepares the CPU
 // to run from the image entry point: ESP points below ExitSentinel so
-// that a final return ends the program.
+// that a final return ends the program. Use LoadImageWith to set
+// explicit stack and memory budgets.
 func LoadImage(img *image.Image) (*CPU, error) {
-	c := New()
-	for _, s := range img.Sections {
-		seg, err := c.Mem.Map(s.Name, s.Addr, s.Size, s.Perm)
-		if err != nil {
-			return nil, err
-		}
-		copy(seg.Data, s.Data)
-	}
-	if _, err := c.Mem.Map("[stack]", DefaultStackTop-DefaultStackSize, DefaultStackSize,
-		image.PermR|image.PermW); err != nil {
-		return nil, err
-	}
-	c.Reg[x86.ESP] = DefaultStackTop - 16
-	if err := c.push32(ExitSentinel); err != nil {
-		return nil, err
-	}
-	c.EIP = img.Entry
-	return c, nil
+	return LoadImageWith(img, LoadConfig{})
 }
 
 // EnableProfile turns on per-address instruction hit counting.
@@ -217,7 +209,7 @@ func (c *CPU) Step() error {
 }
 
 // Run executes until the program exits, faults, or hits the instruction
-// budget.
+// budget. Use RunContext to add a cancellation/deadline watchdog.
 func (c *CPU) Run() error {
 	limit := c.MaxInst
 	if limit == 0 {
@@ -246,9 +238,21 @@ func RunImage(img *image.Image, os Kernel) (*CPU, error) {
 	return c, err
 }
 
+// stackGuardSpan bounds how far below the stack base a faulting push
+// still classifies as stack overflow (covers pushes after a large
+// SUB ESP frame) rather than a wild-pointer fault.
+const stackGuardSpan = 1 << 16
+
 func (c *CPU) push32(v uint32) error {
 	c.Reg[x86.ESP] -= 4
-	return c.Mem.Store32(c.Reg[x86.ESP], v, c.EIP)
+	err := c.Mem.Store32(c.Reg[x86.ESP], v, c.EIP)
+	if err != nil && c.stackBase != 0 {
+		esp := c.Reg[x86.ESP]
+		if esp < c.stackBase && c.stackBase-esp <= stackGuardSpan {
+			return &StackOverflowError{ESP: esp, EIP: c.EIP, Err: err}
+		}
+	}
+	return err
 }
 
 func (c *CPU) pop32() (uint32, error) {

@@ -63,11 +63,30 @@ type Segment struct {
 // End returns the first address past the segment.
 func (s *Segment) End() uint32 { return s.Addr + uint32(len(s.Data)) }
 
+// MemBudgetError reports a Map that would take the address space past
+// its configured byte budget.
+type MemBudgetError struct {
+	Segment   string
+	Requested uint64 // bytes the rejected segment asked for
+	Mapped    uint64 // bytes already mapped
+	Budget    uint64
+}
+
+func (e *MemBudgetError) Error() string {
+	return fmt.Sprintf("emu: mapping %q (%d bytes) exceeds memory budget (%d of %d bytes mapped)",
+		e.Segment, e.Requested, e.Mapped, e.Budget)
+}
+
 // Memory is a flat 32-bit address space composed of non-overlapping
 // segments.
 type Memory struct {
 	segs []*Segment
 	last *Segment // single-entry lookup cache
+
+	// Budget caps the total mapped bytes; 0 means unlimited. Exceeding
+	// it makes Map fail with a *MemBudgetError.
+	Budget uint64
+	mapped uint64
 }
 
 // NewMemory returns an empty address space.
@@ -87,6 +106,11 @@ func (m *Memory) Map(name string, addr uint32, size uint32, perm image.Perm) (*S
 				name, addr, addr+size, s.Name, s.Addr, s.End())
 		}
 	}
+	if m.Budget != 0 && m.mapped+uint64(size) > m.Budget {
+		return nil, &MemBudgetError{Segment: name, Requested: uint64(size),
+			Mapped: m.mapped, Budget: m.Budget}
+	}
+	m.mapped += uint64(size)
 	seg := &Segment{Name: name, Addr: addr, Data: make([]byte, size), Perm: perm}
 	m.segs = append(m.segs, seg)
 	return seg, nil

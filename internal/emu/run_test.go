@@ -1,0 +1,129 @@
+package emu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parallax/internal/image"
+)
+
+// rawImage wraps code bytes into a minimal executable image.
+func rawImage(code []byte) *image.Image {
+	return &image.Image{
+		Entry: 0x1000,
+		Sections: []*image.Section{{
+			Name: ".text", Addr: 0x1000, Data: code,
+			Size: uint32(len(code)), Perm: image.PermR | image.PermX,
+		}},
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	c, err := LoadImage(rawImage([]byte{0xEB, 0xFE})) // jmp self
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.RunContext(ctx)
+	elapsed := time.Since(start)
+
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlineError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError must wrap context.DeadlineExceeded: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("runaway loop not killed within budget: ran %v", elapsed)
+	}
+	if de.Icount == 0 {
+		t.Error("deadline fired before any instruction executed")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	c, err := LoadImage(rawImage([]byte{0xEB, 0xFE}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = c.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if c.Icount != 0 {
+		t.Errorf("pre-cancelled run executed %d instructions", c.Icount)
+	}
+}
+
+func TestRunContextStillHitsInstLimit(t *testing.T) {
+	c, err := LoadImage(rawImage([]byte{0xEB, 0xFE}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxInst = 10_000
+	if err := c.RunContext(context.Background()); !errors.Is(err, ErrInstLimit) {
+		t.Fatalf("want ErrInstLimit, got %v", err)
+	}
+}
+
+func TestRunContextCleanExit(t *testing.T) {
+	// ret -> pops ExitSentinel -> clean exit.
+	c, err := LoadImage(rawImage([]byte{0xC3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exited {
+		t.Fatal("program did not exit")
+	}
+}
+
+func TestMemBudget(t *testing.T) {
+	img := rawImage([]byte{0xC3})
+	// Budget below the stack size: the stack map must fail with a
+	// typed error, not OOM or panic.
+	_, err := LoadImageWith(img, LoadConfig{MemBudget: 1 << 10})
+	var me *MemBudgetError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MemBudgetError, got %v", err)
+	}
+	if me.Budget != 1<<10 {
+		t.Errorf("budget field = %d", me.Budget)
+	}
+	// A budget with room for text + stack works.
+	if _, err := LoadImageWith(img, LoadConfig{MemBudget: 1 << 22}); err != nil {
+		t.Fatalf("sufficient budget rejected: %v", err)
+	}
+}
+
+func TestStackBudget(t *testing.T) {
+	// push eax; jmp back — pushes until the stack segment is exhausted.
+	c, err := LoadImageWith(rawImage([]byte{0x50, 0xEB, 0xFD}), LoadConfig{StackSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run()
+	var se *StackOverflowError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StackOverflowError, got %v", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("StackOverflowError must wrap the memory fault: %v", err)
+	}
+}
+
+func TestLoadConfigRejectsTinyStack(t *testing.T) {
+	if _, err := LoadImageWith(rawImage([]byte{0xC3}), LoadConfig{StackSize: 16}); err == nil {
+		t.Fatal("stack below MinStackSize accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"parallax/internal/campaign"
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+)
+
+// CampaignResult is one corpus program's tamper-campaign outcome.
+type CampaignResult struct {
+	Program string
+	Report  *campaign.Report
+}
+
+// Campaign protects each named corpus program and sweeps the tamper
+// campaign over it, returning the per-program detection matrices. An
+// empty program list means wget (the paper's running example). The
+// supplied config is used as-is except Stdin, which is taken from each
+// program's workload.
+func Campaign(ctx context.Context, progs []string, cfg campaign.Config) ([]CampaignResult, error) {
+	if len(progs) == 0 {
+		progs = []string{"wget"}
+	}
+	var out []CampaignResult
+	for _, name := range progs {
+		p, err := corpus.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := core.Protect(p.Build(), core.Options{
+			VerifyFuncs: []string{p.VerifyFunc},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaign experiment: protecting %s: %w", name, err)
+		}
+		pcfg := cfg
+		pcfg.Stdin = p.Stdin
+		rep, err := campaign.Run(ctx, prot, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign experiment: %s: %w", name, err)
+		}
+		out = append(out, CampaignResult{Program: name, Report: rep})
+	}
+	return out, nil
+}

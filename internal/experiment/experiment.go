@@ -179,7 +179,10 @@ func measureBaseline(p corpus.Program) (*baselineRun, error) {
 		return nil, fmt.Errorf("baseline run of %s: %w", p.Name, err)
 	}
 
-	sym := img.MustSymbol(p.VerifyFunc)
+	sym, err := img.Lookup(p.VerifyFunc)
+	if err != nil {
+		return nil, fmt.Errorf("baseline of %s: %w", p.Name, err)
+	}
 	inside := AttribCycles(img, cpu.Profile(), sym.Addr, sym.Addr+sym.Size)
 	calls := cpu.Profile()[sym.Addr]
 	if calls == 0 {

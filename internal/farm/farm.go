@@ -58,15 +58,34 @@ type Config struct {
 	// Cache is the stage cache to use; nil means a fresh private one.
 	// Sharing a warm Cache across farms is safe and useful.
 	Cache *Cache
+	// Retry re-runs failed jobs with capped exponential backoff. The
+	// zero value disables retries.
+	Retry RetryPolicy
+	// JobTimeout bounds each job from submission to completion
+	// (retries and backoff included); an expired job fails with an
+	// error wrapping context.DeadlineExceeded. Zero means no deadline.
+	JobTimeout time.Duration
+	// Breaker configures the consecutive-failure circuit breaker. The
+	// zero value disables it.
+	Breaker BreakerConfig
 }
 
 // Farm is a worker pool executing protection jobs. Create with New,
 // feed with Submit, stop with Close.
 type Farm struct {
-	cache *Cache
-	ct    counters
-	jobs  chan *Job
-	wg    sync.WaitGroup
+	cache      *Cache
+	ct         counters
+	jobs       chan *Job
+	wg         sync.WaitGroup
+	retry      RetryPolicy
+	jobTimeout time.Duration
+	brk        *breaker
+
+	// Deterministic-test seams; production values are time.Now,
+	// realSleep and (*Farm).protect.
+	now       func() time.Time
+	sleep     func(context.Context, time.Duration) error
+	protectFn func(*Job) (*core.Protected, error)
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -84,9 +103,15 @@ func New(cfg Config) *Farm {
 		cfg.Cache = NewCache()
 	}
 	f := &Farm{
-		cache: cfg.Cache,
-		jobs:  make(chan *Job, cfg.Queue),
+		cache:      cfg.Cache,
+		jobs:       make(chan *Job, cfg.Queue),
+		retry:      cfg.Retry.withDefaults(),
+		jobTimeout: cfg.JobTimeout,
+		now:        time.Now,
+		sleep:      realSleep,
 	}
+	f.brk = newBreaker(cfg.Breaker, func() time.Time { return f.now() })
+	f.protectFn = f.protect
 	f.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go f.worker()
@@ -98,7 +123,11 @@ func New(cfg Config) *Farm {
 func (f *Farm) Cache() *Cache { return f.cache }
 
 // Stats returns a point-in-time snapshot of the farm's counters.
-func (f *Farm) Stats() Stats { return f.ct.snapshot() }
+func (f *Farm) Stats() Stats {
+	s := f.ct.snapshot()
+	s.BreakerTrips = f.brk.tripCount()
+	return s
+}
 
 // Close stops accepting jobs, waits for queued and running jobs to
 // finish, and stops the workers. It is idempotent and safe to call
@@ -126,12 +155,21 @@ type Job struct {
 	Name string
 
 	ctx       context.Context
+	cancel    context.CancelFunc // releases the JobTimeout deadline, if any
 	module    *ir.Module
 	opts      core.Options
 	submitted time.Time
 	state     int32
 	done      chan struct{}
 	res       Result
+}
+
+// finish marks the job done and releases its deadline resources.
+func (j *Job) finish() {
+	close(j.done)
+	if j.cancel != nil {
+		j.cancel()
+	}
 }
 
 // Result is the outcome of a finished job.
@@ -154,6 +192,10 @@ type Result struct {
 	ScanMisses uint64
 	// HintUsed reports whether cached fixpoint sizes seeded this job.
 	HintUsed bool
+	// Attempts is how many times the pipeline ran for this job (0 for
+	// jobs that never started: cancelled while queued or rejected by
+	// the circuit breaker).
+	Attempts int
 }
 
 // Done is closed when the job has finished (or was cancelled while
@@ -189,6 +231,11 @@ func (f *Farm) Submit(ctx context.Context, name string, m *ir.Module, opts core.
 		opts:      opts,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if f.jobTimeout > 0 {
+		// The deadline covers the job's whole life — queue wait, every
+		// attempt, and backoff between attempts.
+		j.ctx, j.cancel = context.WithTimeout(ctx, f.jobTimeout)
 	}
 	j.res.Name = name
 
@@ -234,7 +281,7 @@ func (j *Job) watchCancel(ct *counters) {
 			j.res.Err = fmt.Errorf("farm: job %q cancelled while queued: %w", j.Name, j.ctx.Err())
 			atomic.AddInt64(&ct.queueDepth, -1)
 			atomic.AddUint64(&ct.cancelled, 1)
-			close(j.done)
+			j.finish()
 		}
 	case <-j.done:
 	}
@@ -251,7 +298,7 @@ func (f *Farm) worker() {
 		atomic.AddInt64(&f.ct.queueNanos, j.res.QueueWait.Nanoseconds())
 		f.run(j)
 		atomic.StoreInt32(&j.state, stateDone)
-		close(j.done)
+		j.finish()
 	}
 }
 
@@ -261,17 +308,43 @@ func (f *Farm) run(j *Job) {
 		atomic.AddUint64(&f.ct.cancelled, 1)
 		return
 	}
+	if !f.brk.allow() {
+		j.res.Err = fmt.Errorf("farm: job %q: %w", j.Name, ErrCircuitOpen)
+		atomic.AddUint64(&f.ct.failed, 1)
+		atomic.AddUint64(&f.ct.breakerRejects, 1)
+		return
+	}
+
+	maxAttempts := f.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	start := time.Now()
-	prot, err := f.protect(j)
+	var prot *core.Protected
+	var err error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		j.res.Attempts = attempt
+		prot, err = f.protectFn(j)
+		if err == nil || attempt == maxAttempts {
+			break
+		}
+		atomic.AddUint64(&f.ct.retries, 1)
+		if serr := f.sleep(j.ctx, f.retry.backoff(attempt+1)); serr != nil {
+			err = fmt.Errorf("farm: job %q cancelled during retry backoff: %w", j.Name, serr)
+			break
+		}
+	}
 	j.res.Runtime = time.Since(start)
 	atomic.AddInt64(&f.ct.protectNanos, j.res.Runtime.Nanoseconds())
 	if err != nil {
 		j.res.Err = err
 		atomic.AddUint64(&f.ct.failed, 1)
+		f.brk.recordFailure()
 		return
 	}
 	j.res.Protected = prot
 	atomic.AddUint64(&f.ct.completed, 1)
+	f.brk.recordSuccess()
 }
 
 // protect runs one job through core.Protect with the cache wired in

@@ -1,0 +1,148 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is wrapped by jobs rejected while the farm's circuit
+// breaker is open.
+var ErrCircuitOpen = errors.New("farm: circuit open")
+
+// RetryPolicy configures per-job retry with capped exponential backoff.
+// The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per job, including the
+	// first; values below 2 mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles on
+	// each subsequent one. Zero means 10ms when retries are enabled.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 1s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts > 1 {
+		if p.BaseDelay <= 0 {
+			p.BaseDelay = 10 * time.Millisecond
+		}
+		if p.MaxDelay <= 0 {
+			p.MaxDelay = time.Second
+		}
+	}
+	return p
+}
+
+// backoff returns the delay before attempt n (the first retry is n=2):
+// BaseDelay doubled per retry, capped at MaxDelay.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay
+	for i := 2; i < n; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// BreakerConfig configures the farm's consecutive-failure circuit
+// breaker. The zero value disables it.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the circuit;
+	// 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long the circuit stays open. Zero means 1s.
+	Cooldown time.Duration
+}
+
+// breaker tracks consecutive job failures farm-wide. When Threshold
+// failures occur with no intervening success the circuit opens for
+// Cooldown: jobs fail fast with ErrCircuitOpen instead of burning
+// workers on a persistently broken pipeline stage. After the cooldown
+// one job is let through; its outcome re-trips or closes the circuit
+// (the consecutive count is only reset by a success).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	consec    int
+	openUntil time.Time
+	trips     uint64
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	return &breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown, now: now}
+}
+
+// allow reports whether a job may run now.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.now().Before(b.openUntil)
+}
+
+// recordFailure counts a job failure and trips the circuit at the
+// threshold.
+func (b *breaker) recordFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.consec >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// recordSuccess closes the circuit and resets the failure streak.
+func (b *breaker) recordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.openUntil = time.Time{}
+}
+
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// realSleep is the production sleep seam: context-aware so a cancelled
+// job never sits out a backoff.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

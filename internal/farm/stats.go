@@ -9,11 +9,13 @@ import (
 // counters is the farm's live metric set. All fields are updated with
 // atomics so workers never contend on a lock for bookkeeping.
 type counters struct {
-	submitted uint64
-	completed uint64
-	failed    uint64
-	cancelled uint64
-	panics    uint64
+	submitted      uint64
+	completed      uint64
+	failed         uint64
+	cancelled      uint64
+	panics         uint64
+	retries        uint64
+	breakerRejects uint64
 
 	scanHits   uint64
 	scanMisses uint64
@@ -37,6 +39,12 @@ type Stats struct {
 	// Panics counts pipeline panics converted to job errors (a subset
 	// of JobsFailed).
 	Panics uint64
+	// Retries counts re-runs of failed attempts under the retry policy.
+	Retries uint64
+	// BreakerTrips counts circuit-breaker opens; BreakerRejects counts
+	// jobs failed fast while the circuit was open.
+	BreakerTrips   uint64
+	BreakerRejects uint64
 
 	// ScanHits/ScanMisses count content-addressed gadget-scan cache
 	// lookups; a miss is a scan actually run.
@@ -69,10 +77,12 @@ func (s Stats) ScanHitRate() float64 {
 // String renders the snapshot as a compact single-line summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"jobs: %d submitted, %d completed, %d failed, %d cancelled (%d panics), queue %d | "+
+		"jobs: %d submitted, %d completed, %d failed, %d cancelled (%d panics, "+
+			"%d retries, %d breaker trips/%d rejects), queue %d | "+
 			"scan cache: %d hits / %d misses (%.1f%%), hints: %d/%d | "+
 			"time: queue %v, scan %v, protect %v",
 		s.JobsSubmitted, s.JobsCompleted, s.JobsFailed, s.JobsCancelled, s.Panics,
+		s.Retries, s.BreakerTrips, s.BreakerRejects,
 		s.QueueDepth,
 		s.ScanHits, s.ScanMisses, 100*s.ScanHitRate(),
 		s.HintHits, s.HintHits+s.HintMisses,
@@ -84,36 +94,41 @@ func (s Stats) String() string {
 // long-lived farm. QueueDepth is taken from s as-is.
 func (s Stats) Delta(earlier Stats) Stats {
 	return Stats{
-		JobsSubmitted: s.JobsSubmitted - earlier.JobsSubmitted,
-		JobsCompleted: s.JobsCompleted - earlier.JobsCompleted,
-		JobsFailed:    s.JobsFailed - earlier.JobsFailed,
-		JobsCancelled: s.JobsCancelled - earlier.JobsCancelled,
-		Panics:        s.Panics - earlier.Panics,
-		ScanHits:      s.ScanHits - earlier.ScanHits,
-		ScanMisses:    s.ScanMisses - earlier.ScanMisses,
-		HintHits:      s.HintHits - earlier.HintHits,
-		HintMisses:    s.HintMisses - earlier.HintMisses,
-		QueueDepth:    s.QueueDepth,
-		QueueWait:     s.QueueWait - earlier.QueueWait,
-		ScanTime:      s.ScanTime - earlier.ScanTime,
-		ProtectTime:   s.ProtectTime - earlier.ProtectTime,
+		JobsSubmitted:  s.JobsSubmitted - earlier.JobsSubmitted,
+		JobsCompleted:  s.JobsCompleted - earlier.JobsCompleted,
+		JobsFailed:     s.JobsFailed - earlier.JobsFailed,
+		JobsCancelled:  s.JobsCancelled - earlier.JobsCancelled,
+		Panics:         s.Panics - earlier.Panics,
+		Retries:        s.Retries - earlier.Retries,
+		BreakerTrips:   s.BreakerTrips - earlier.BreakerTrips,
+		BreakerRejects: s.BreakerRejects - earlier.BreakerRejects,
+		ScanHits:       s.ScanHits - earlier.ScanHits,
+		ScanMisses:     s.ScanMisses - earlier.ScanMisses,
+		HintHits:       s.HintHits - earlier.HintHits,
+		HintMisses:     s.HintMisses - earlier.HintMisses,
+		QueueDepth:     s.QueueDepth,
+		QueueWait:      s.QueueWait - earlier.QueueWait,
+		ScanTime:       s.ScanTime - earlier.ScanTime,
+		ProtectTime:    s.ProtectTime - earlier.ProtectTime,
 	}
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		JobsSubmitted: atomic.LoadUint64(&c.submitted),
-		JobsCompleted: atomic.LoadUint64(&c.completed),
-		JobsFailed:    atomic.LoadUint64(&c.failed),
-		JobsCancelled: atomic.LoadUint64(&c.cancelled),
-		Panics:        atomic.LoadUint64(&c.panics),
-		ScanHits:      atomic.LoadUint64(&c.scanHits),
-		ScanMisses:    atomic.LoadUint64(&c.scanMisses),
-		HintHits:      atomic.LoadUint64(&c.hintHits),
-		HintMisses:    atomic.LoadUint64(&c.hintMisses),
-		QueueDepth:    int(atomic.LoadInt64(&c.queueDepth)),
-		QueueWait:     time.Duration(atomic.LoadInt64(&c.queueNanos)),
-		ScanTime:      time.Duration(atomic.LoadInt64(&c.scanNanos)),
-		ProtectTime:   time.Duration(atomic.LoadInt64(&c.protectNanos)),
+		JobsSubmitted:  atomic.LoadUint64(&c.submitted),
+		JobsCompleted:  atomic.LoadUint64(&c.completed),
+		JobsFailed:     atomic.LoadUint64(&c.failed),
+		JobsCancelled:  atomic.LoadUint64(&c.cancelled),
+		Panics:         atomic.LoadUint64(&c.panics),
+		Retries:        atomic.LoadUint64(&c.retries),
+		BreakerRejects: atomic.LoadUint64(&c.breakerRejects),
+		ScanHits:       atomic.LoadUint64(&c.scanHits),
+		ScanMisses:     atomic.LoadUint64(&c.scanMisses),
+		HintHits:       atomic.LoadUint64(&c.hintHits),
+		HintMisses:     atomic.LoadUint64(&c.hintMisses),
+		QueueDepth:     int(atomic.LoadInt64(&c.queueDepth)),
+		QueueWait:      time.Duration(atomic.LoadInt64(&c.queueNanos)),
+		ScanTime:       time.Duration(atomic.LoadInt64(&c.scanNanos)),
+		ProtectTime:    time.Duration(atomic.LoadInt64(&c.protectNanos)),
 	}
 }

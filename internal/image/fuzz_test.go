@@ -1,0 +1,127 @@
+package image
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedImage is a small valid image exercising every serialized
+// field: multiple sections, symbols, relocations, BSS tail.
+func fuzzSeedImage() *Image {
+	return &Image{
+		Entry: 0x1000,
+		Sections: []*Section{
+			{Name: ".text", Addr: 0x1000, Data: []byte{0xB8, 1, 0, 0, 0, 0xC3},
+				Size: 6, Perm: PermR | PermX},
+			{Name: ".data", Addr: 0x2000, Data: []byte{1, 2, 3, 4},
+				Size: 16, Perm: PermR | PermW},
+		},
+		Symbols: []Symbol{
+			{Name: "main", Addr: 0x1000, Size: 6, Kind: SymFunc},
+			{Name: "g", Addr: 0x2000, Size: 4, Kind: SymObject},
+		},
+		Relocs: []Reloc{{Addr: 0x1001, Kind: RelocAbs32, Sym: "g"}},
+	}
+}
+
+// FuzzImageReadFrom feeds arbitrary bytes to the deserializer. The
+// contract under attack input: return an error or a Validate-clean
+// image — never panic, never hang, never hand back a structurally
+// broken image.
+func FuzzImageReadFrom(f *testing.F) {
+	var valid bytes.Buffer
+	if _, err := fuzzSeedImage().WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated stream
+	f.Add([]byte("PLX1"))                       // magic only
+	f.Add([]byte("PLX0junk"))                   // bad magic
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			if img != nil {
+				t.Fatal("ReadFrom returned both image and error")
+			}
+			return
+		}
+		// Anything accepted must satisfy the structural invariants...
+		if verr := img.Validate(); verr != nil {
+			t.Fatalf("ReadFrom accepted an invalid image: %v", verr)
+		}
+		// ...and survive the operations downstream consumers perform.
+		img.Text()
+		img.Funcs()
+		img.SymbolAt(img.Entry)
+		_ = img.Clone()
+		var buf bytes.Buffer
+		if _, werr := img.WriteTo(&buf); werr != nil {
+			t.Fatalf("round-trip re-encode failed: %v", werr)
+		}
+	})
+}
+
+// TestReadFromRejectsMalformed pins the validation behaviour on
+// handcrafted malformed images (the fuzz findings, kept deterministic).
+func TestReadFromRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Image)
+	}{
+		{"zero-size section", func(img *Image) { img.Sections[1].Size = 0 }},
+		{"wrapping section", func(img *Image) {
+			img.Sections[1].Addr = 0xFFFFFFF0
+			img.Sections[1].Size = 0x20
+		}},
+		{"data past size", func(img *Image) { img.Sections[1].Size = 2 }},
+		{"overlapping sections", func(img *Image) { img.Sections[1].Addr = 0x1002 }},
+		{"no text", func(img *Image) { img.Sections[0].Name = ".tex" }},
+		{"non-exec text", func(img *Image) { img.Sections[0].Perm = PermR }},
+		{"entry outside code", func(img *Image) { img.Entry = 0x2000 }},
+		{"wrapping symbol", func(img *Image) {
+			img.Symbols[0] = Symbol{Name: "w", Addr: 0xFFFFFFFF, Size: 8}
+		}},
+		{"reloc outside sections", func(img *Image) { img.Relocs[0].Addr = 0x9000 }},
+		{"reloc past section end", func(img *Image) { img.Relocs[0].Addr = 0x1003 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := fuzzSeedImage()
+			tc.mutate(img)
+			var buf bytes.Buffer
+			if _, err := img.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadFrom(&buf)
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("want ErrInvalid, got %v", err)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsLinkedOutput: images from the real linker pass.
+func TestValidateAcceptsSeed(t *testing.T) {
+	if err := fuzzSeedImage().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateNilSection: gob cannot even encode a nil slice element,
+// so this invariant is checked directly against Validate.
+func TestValidateNilSection(t *testing.T) {
+	img := fuzzSeedImage()
+	img.Sections[0] = nil
+	if err := img.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("want ErrInvalid, got %v", err)
+	}
+	if err := (*Image)(nil).Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil image: want ErrInvalid, got %v", err)
+	}
+}

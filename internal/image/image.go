@@ -9,6 +9,7 @@
 package image
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -134,8 +135,24 @@ func (img *Image) Symbol(name string) (Symbol, bool) {
 	return Symbol{}, false
 }
 
+// ErrNoSymbol is the sentinel wrapped by Lookup failures.
+var ErrNoSymbol = errors.New("image: no such symbol")
+
+// Lookup is Symbol with an error return: library code paths use it (and
+// propagate the %w-wrapped error) instead of MustSymbol, so a missing
+// symbol in a malformed or tampered image degrades into an error, not a
+// panic.
+func (img *Image) Lookup(name string) (Symbol, error) {
+	s, ok := img.Symbol(name)
+	if !ok {
+		return Symbol{}, fmt.Errorf("%w: %q", ErrNoSymbol, name)
+	}
+	return s, nil
+}
+
 // MustSymbol is Symbol for names that are known to exist; it panics when
-// the symbol is missing.
+// the symbol is missing. Tests, examples and CLI front-ends only —
+// library code must use Lookup and propagate the error.
 func (img *Image) MustSymbol(name string) Symbol {
 	s, ok := img.Symbol(name)
 	if !ok {

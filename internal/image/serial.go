@@ -15,6 +15,11 @@ import (
 
 const serialMagic = "PLX1"
 
+// MaxSerialSize bounds how many bytes ReadFrom will consume: a
+// defensive cap (well above MaxImageSize plus metadata) so a malicious
+// stream cannot make the decoder read without bound.
+const MaxSerialSize = MaxImageSize + (1 << 26)
+
 // WriteTo serializes the image.
 func (img *Image) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
@@ -26,7 +31,10 @@ func (img *Image) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// ReadFrom deserializes an image written by WriteTo.
+// ReadFrom deserializes an image written by WriteTo. Arbitrary input is
+// safe: the stream is size-capped, decode failures surface as errors
+// (never panics), and the decoded image is structurally validated —
+// every rejection wraps ErrInvalid or reports the gob fault.
 func ReadFrom(r io.Reader) (*Image, error) {
 	magic := make([]byte, len(serialMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -36,8 +44,11 @@ func ReadFrom(r io.Reader) (*Image, error) {
 		return nil, fmt.Errorf("image: bad magic %q", magic)
 	}
 	img := &Image{}
-	if err := gob.NewDecoder(r).Decode(img); err != nil {
+	if err := gob.NewDecoder(io.LimitReader(r, MaxSerialSize)).Decode(img); err != nil {
 		return nil, fmt.Errorf("image: decode: %w", err)
+	}
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("image: deserialized image rejected: %w", err)
 	}
 	return img, nil
 }

@@ -1,0 +1,110 @@
+package image
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid marks a structurally malformed image: every Validate
+// failure wraps it, so loaders can distinguish "bad image" from I/O
+// errors with errors.Is.
+var ErrInvalid = errors.New("image: invalid")
+
+// Structural limits enforced by Validate. Far above anything the
+// toolchain emits, low enough that a malicious serialized image cannot
+// drive allocation or iteration costs unbounded.
+const (
+	MaxSections  = 1 << 10
+	MaxSymbols   = 1 << 20
+	MaxRelocs    = 1 << 20
+	MaxNameLen   = 1 << 12
+	MaxImageSize = 1 << 30 // total section bytes
+)
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the image's structural invariants: non-nil,
+// non-overlapping, non-wrapping sections within the size limits; an
+// executable .text section; an entry point inside executable code; and
+// in-range symbols and relocations. Images produced by Link always
+// pass; deserialized images are validated before use so arbitrary
+// input can never panic or wedge downstream consumers.
+func (img *Image) Validate() error {
+	if img == nil {
+		return invalidf("nil image")
+	}
+	if len(img.Sections) == 0 {
+		return invalidf("no sections")
+	}
+	if len(img.Sections) > MaxSections {
+		return invalidf("%d sections exceeds limit %d", len(img.Sections), MaxSections)
+	}
+	if len(img.Symbols) > MaxSymbols {
+		return invalidf("%d symbols exceeds limit %d", len(img.Symbols), MaxSymbols)
+	}
+	if len(img.Relocs) > MaxRelocs {
+		return invalidf("%d relocations exceeds limit %d", len(img.Relocs), MaxRelocs)
+	}
+
+	var total uint64
+	for i, s := range img.Sections {
+		if s == nil {
+			return invalidf("section %d is nil", i)
+		}
+		if s.Name == "" || len(s.Name) > MaxNameLen {
+			return invalidf("section %d has bad name (len %d)", i, len(s.Name))
+		}
+		if s.Size == 0 {
+			return invalidf("section %s has zero size", s.Name)
+		}
+		if s.Addr+s.Size < s.Addr {
+			return invalidf("section %s [%#x,+%d) wraps the address space", s.Name, s.Addr, s.Size)
+		}
+		if uint32(len(s.Data)) > s.Size {
+			return invalidf("section %s: %d data bytes exceed size %d", s.Name, len(s.Data), s.Size)
+		}
+		total += uint64(s.Size)
+		if total > MaxImageSize {
+			return invalidf("total section size exceeds %d bytes", MaxImageSize)
+		}
+		for _, o := range img.Sections[:i] {
+			if o != nil && s.Addr < o.End() && o.Addr < s.End() {
+				return invalidf("section %s [%#x,%#x) overlaps %s [%#x,%#x)",
+					s.Name, s.Addr, s.End(), o.Name, o.Addr, o.End())
+			}
+		}
+	}
+
+	text := img.Text()
+	if text == nil {
+		return invalidf("no .text section")
+	}
+	if text.Perm&PermX == 0 {
+		return invalidf(".text is not executable (%s)", text.Perm)
+	}
+	entry := img.SectionAt(img.Entry)
+	if entry == nil || entry.Perm&PermX == 0 {
+		return invalidf("entry point %#x not in executable code", img.Entry)
+	}
+
+	for i, sym := range img.Symbols {
+		if len(sym.Name) > MaxNameLen {
+			return invalidf("symbol %d has oversized name (len %d)", i, len(sym.Name))
+		}
+		if sym.Addr+sym.Size < sym.Addr {
+			return invalidf("symbol %q [%#x,+%d) wraps the address space", sym.Name, sym.Addr, sym.Size)
+		}
+	}
+	for i, r := range img.Relocs {
+		if len(r.Sym) > MaxNameLen {
+			return invalidf("relocation %d has oversized symbol name", i)
+		}
+		s := img.SectionAt(r.Addr)
+		if s == nil || r.Addr+4 < r.Addr || r.Addr+4 > s.End() {
+			return invalidf("relocation %d site [%#x,+4) outside any section", i, r.Addr)
+		}
+	}
+	return nil
+}

@@ -20,6 +20,8 @@
 package parallax
 
 import (
+	"context"
+
 	"parallax/internal/attack"
 	"parallax/internal/core"
 	"parallax/internal/dyngen"
@@ -115,11 +117,22 @@ type (
 type RunConfig = attack.RunConfig
 
 // Run executes an image under the emulator with the given stdin.
-func Run(img *Image, stdin []byte) RunResult { return attack.Run(img, stdin) }
+func Run(img *Image, stdin []byte) RunResult {
+	return attack.Run(context.Background(), img, stdin)
+}
 
 // RunWith executes an image with a configured environment (stdin,
 // simulated debugger, instruction budget).
-func RunWith(img *Image, cfg RunConfig) RunResult { return attack.RunWith(img, cfg) }
+func RunWith(img *Image, cfg RunConfig) RunResult {
+	return attack.RunWith(context.Background(), img, cfg)
+}
+
+// RunContext is RunWith under a caller-supplied context: when the
+// context expires the emulated program is killed within one watchdog
+// stride and the result's Err wraps the context error.
+func RunContext(ctx context.Context, img *Image, cfg RunConfig) RunResult {
+	return attack.RunWith(ctx, img, cfg)
+}
 
 // LoadImage reads a serialized image from disk.
 func LoadImage(path string) (*Image, error) { return image.Load(path) }
