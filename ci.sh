@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's verification entry point.
 #
-# Runs the full gate: build, vet, tests, the race detector over the
-# concurrent subsystems (internal/farm is genuinely parallel), and
-# short fuzz smoke runs of the two decoder-facing fuzz targets.
+# Runs the full gate: build, vet, tests with a ratcheted coverage
+# minimum, the race detector over the concurrent subsystems
+# (internal/farm is genuinely parallel; the race pass also replays the
+# internal/obs golden-trace tests with the tracer under the detector),
+# and short fuzz smoke runs of the decoder-facing fuzz targets.
 #
 # Usage:
 #   ./ci.sh            # everything (~a few minutes)
@@ -13,14 +15,26 @@ cd "$(dirname "$0")"
 
 FUZZTIME="${FUZZTIME:-10s}"
 
+# Statement-coverage ratchet: the recorded baseline is the repo-wide
+# `go test -cover ./...` total at the time it was last raised. The
+# gate fails when coverage drops more than 2 points below it; raise
+# the baseline when new tests push the total up.
+COVERAGE_BASELINE=67.2
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test -cover ./..."
+go test -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+echo "    total statement coverage: ${total}% (baseline ${COVERAGE_BASELINE}%)"
+if awk -v t="$total" -v b="$COVERAGE_BASELINE" 'BEGIN { exit !(t + 2 < b) }'; then
+    echo "FAIL: coverage ${total}% is more than 2 points below baseline ${COVERAGE_BASELINE}%" >&2
+    exit 1
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...

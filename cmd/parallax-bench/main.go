@@ -10,7 +10,8 @@
 //	parallax-bench -experiment prob     probabilistic variant counts (§V-B)
 //	parallax-bench -experiment farm     batch-protection throughput + cache hit rate
 //	parallax-bench -experiment campaign tamper-campaign detection matrix
-//	parallax-bench -experiment all      everything except farm and campaign
+//	parallax-bench -experiment obs      protect-pipeline per-stage timing (internal/obs)
+//	parallax-bench -experiment all      everything except farm, campaign and obs
 //
 // All numbers except the farm experiment come from the deterministic
 // emulator cycle model; those runs are reproducible bit for bit. The
@@ -28,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"parallax/internal/attack"
 	"parallax/internal/baseline/checksum"
@@ -43,11 +45,11 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|all")
+		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|obs|all")
 	workers := flag.String("workers", "1,2,4,8",
 		"comma-separated worker counts for -experiment farm")
 	progs := flag.String("progs", "wget",
-		"comma-separated corpus programs for -experiment campaign")
+		"comma-separated corpus programs for -experiment campaign and obs")
 	flag.Parse()
 
 	runs := map[string]func() error{
@@ -60,6 +62,7 @@ func main() {
 		"prob":     probExperiment,
 		"farm":     func() error { return farmExperiment(*workers) },
 		"campaign": func() error { return campaignExperiment(*progs) },
+		"obs":      func() error { return obsExperiment(*progs) },
 	}
 	order := []string{"fig6", "fig5a", "fig5b", "uchain", "wurster", "oh", "prob"}
 
@@ -348,6 +351,35 @@ func farmExperiment(workers string) error {
 	fmt.Println("scan is served from the content-addressed cache (scans run = 0);")
 	fmt.Println("outputs stay byte-identical to sequential core.Protect (tested).")
 	fmt.Printf("host parallelism: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// obsExperiment prints the protect pipeline's per-stage wall-time
+// breakdown (internal/obs spans): where a protection run spends its
+// time, and how many fixpoint passes each stage took. Wall-clock
+// numbers vary by host; stage counts and relative shares are stable.
+func obsExperiment(progs string) error {
+	header("obs — protect-pipeline per-stage timing")
+	for _, name := range strings.Split(progs, ",") {
+		name = strings.TrimSpace(name)
+		rows, rep, err := experiment.PipelineTiming(name, dyngen.ModeStatic)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (static chains):\n", name)
+		fmt.Printf("  %-14s %6s %12s %12s %7s\n", "stage", "runs", "total", "mean", "share")
+		for _, r := range rows {
+			fmt.Printf("  %-14s %6d %12s %12s %6.1f%%\n",
+				r.Stage, r.Count, r.Total.Round(time.Microsecond),
+				r.Mean.Round(time.Microsecond), 100*r.Share)
+		}
+		if n := rep.Counters["emu.insts"]; n != 0 {
+			fmt.Printf("  emulated instructions: %d\n", n)
+		}
+		fmt.Println()
+	}
+	fmt.Println("scan and chain-compile repeat once per fixpoint pass (§IV-C: the")
+	fmt.Println("layout must converge before chain words can address gadgets).")
 	return nil
 }
 

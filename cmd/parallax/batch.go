@@ -13,6 +13,7 @@ import (
 	"parallax/internal/corpus"
 	"parallax/internal/dyngen"
 	"parallax/internal/farm"
+	"parallax/internal/obs"
 )
 
 // cmdBatch protects a whole corpus × chain-mode matrix concurrently
@@ -26,6 +27,8 @@ func cmdBatch(args []string) error {
 	rounds := fs.Int("rounds", 1, "times to protect the whole matrix (round 2+ hits the warm cache)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "abort the batch after this long (0 = none)")
 	outDir := fs.String("o", "", "directory to save protected images into (optional)")
+	metrics := fs.Bool("metrics", false, "collect farm/pipeline metrics and print them after the batch")
+	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
 	fs.Parse(args)
 
 	var programs []corpus.Program
@@ -64,7 +67,15 @@ func cmdBatch(args []string) error {
 		defer cancel()
 	}
 
-	f := farm.New(farm.Config{Workers: *workers})
+	if *metricsFormat != "json" && *metricsFormat != "table" {
+		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+
+	f := farm.New(farm.Config{Workers: *workers, Obs: reg})
 	defer f.Close()
 
 	failed := 0
@@ -80,6 +91,7 @@ func cmdBatch(args []string) error {
 				j, err := f.Submit(ctx, name, p.Build(), core.Options{
 					VerifyFuncs: []string{p.VerifyFunc},
 					ChainMode:   m,
+					Obs:         reg,
 				})
 				if err != nil {
 					return fmt.Errorf("submitting %s: %w", name, err)
@@ -120,6 +132,11 @@ func cmdBatch(args []string) error {
 		prev = st
 	}
 	fmt.Printf("total: %s\n", f.Stats())
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsFormat); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d jobs failed", failed, int(prev.JobsSubmitted))
 	}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"parallax/internal/campaign"
 	"parallax/internal/core"
 	"parallax/internal/corpus"
+	"parallax/internal/farm"
+	"parallax/internal/obs"
 )
 
 // cmdCampaign protects a corpus program and sweeps a tamper campaign
@@ -25,6 +28,8 @@ func cmdCampaign(args []string) error {
 	maxInst := fs.Uint64("max", 20_000_000, "per-mutant instruction budget")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-mutant wall-clock watchdog")
 	kindsFlag := fs.String("kinds", "", "mutation kinds, comma-separated: bitflip,byteset,nopsweep,serial (default all)")
+	metrics := fs.Bool("metrics", false, "collect pipeline/emulator/farm metrics and print them after the matrix")
+	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
 	fs.Parse(args)
 
 	p, err := corpus.ByName(*prog)
@@ -40,8 +45,21 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 
+	if *metricsFormat != "json" && *metricsFormat != "table" {
+		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
+	}
+
+	// With -metrics the protection runs through a one-shot farm so the
+	// report carries the scan-cache view alongside the pipeline stage
+	// spans and the per-mutant emulator counters. Without it, reg stays
+	// nil and every recording site below is a disabled nil check.
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+
 	m := p.Build()
-	opts := core.Options{ChainMode: chainMode, Workload: p.Stdin}
+	opts := core.Options{ChainMode: chainMode, Workload: p.Stdin, Obs: reg}
 	if *verify != "" {
 		if m.Func(*verify) == nil {
 			return usagef("no function %q in %s", *verify, p.Name)
@@ -50,7 +68,14 @@ func cmdCampaign(args []string) error {
 	} else {
 		opts.VerifyFuncs = []string{p.VerifyFunc}
 	}
-	prot, err := core.Protect(m, opts)
+	var prot *core.Protected
+	if reg != nil {
+		f := farm.New(farm.Config{Workers: 1, Obs: reg})
+		prot, err = f.Protect(context.Background(), p.Name, m, opts)
+		f.Close()
+	} else {
+		prot, err = core.Protect(m, opts)
+	}
 	if err != nil {
 		return fmt.Errorf("protecting %s: %w", p.Name, err)
 	}
@@ -63,13 +88,36 @@ func cmdCampaign(args []string) error {
 		MaxMutants: *maxMutants,
 		Kinds:      kinds,
 		Stdin:      p.Stdin,
+		Obs:        reg,
 	})
 	if err != nil {
 		return fmt.Errorf("campaign over %s: %w", p.Name, err)
 	}
 	fmt.Printf("tamper campaign: %s (%s chains, stride %d)\n%s",
 		p.Name, *mode, *stride, rep)
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsFormat); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeMetrics snapshots the registry, attaches the derived cache
+// hit-rates, and prints it to stdout in the requested format.
+func writeMetrics(reg *obs.Registry, format string) error {
+	rep := reg.Snapshot()
+	if hits, misses := rep.Counters["farm.scan_cache_hits"], rep.Counters["farm.scan_cache_misses"]; hits+misses > 0 {
+		rep.Derive("farm.scan_cache.hit_rate", float64(hits)/float64(hits+misses))
+	}
+	if hits, misses := rep.Counters["farm.hint_cache_hits"], rep.Counters["farm.hint_cache_misses"]; hits+misses > 0 {
+		rep.Derive("farm.hint_cache.hit_rate", float64(hits)/float64(hits+misses))
+	}
+	if format == "table" {
+		fmt.Print(rep)
+		return nil
+	}
+	return rep.WriteJSON(os.Stdout)
 }
 
 // parseKinds maps a comma list onto mutation kinds; empty means all.

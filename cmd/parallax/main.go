@@ -8,6 +8,7 @@
 //	parallax protect -prog wget [-verify mix32 | -auto] [-mode xor] -o wget-p.plx
 //	parallax batch   [-progs all] [-modes static,xor,rc4,prob] [-workers N] [-rounds 2]
 //	parallax run     wget-p.plx [-stdin file] [-debugger] [-max N]
+//	parallax trace   wget-p.plx [-every N] [-limit N] [-json] | -prog wget [-gadgets]
 //	parallax gadgets wget-p.plx [-usable] [-kind pop] [-limit N]
 //	parallax chain   -prog wget -verify mix32 [-mu]
 //	parallax disasm  wget-p.plx [-func main]
@@ -63,6 +64,8 @@ func main() {
 		err = cmdBatch(args)
 	case "run":
 		err = cmdRun(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "gadgets":
 		err = cmdGadgets(args)
 	case "chain":
@@ -101,6 +104,8 @@ commands:
   protect   protect a corpus program with verification chains
   batch     protect the corpus x chain-mode matrix concurrently
   run       execute an image under the emulator
+  trace     execute an image with an execution-trace sink attached
+            (return events = chain gadget boundaries; -metrics)
   gadgets   list the gadget catalog of an image
   chain     compile and dump a verification chain
   disasm    disassemble an image

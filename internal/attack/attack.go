@@ -11,10 +11,12 @@ package attack
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"parallax/internal/emu"
 	"parallax/internal/image"
+	"parallax/internal/obs"
 	"parallax/internal/x86"
 )
 
@@ -160,6 +162,15 @@ type RunConfig struct {
 	// CheckStride is the cancellation-poll stride in instructions
 	// (0 = emulator default).
 	CheckStride uint64
+	// Obs, when non-nil, accumulates run metrics into the shared
+	// registry: emu.runs, emu.insts, emu.watchdog_trips,
+	// emu.inst_limit_trips, emu.load_failures and emu.faults.
+	Obs *obs.Registry
+	// Trace attaches an execution trace sink to the run's CPU;
+	// TraceEvery is the instruction-event sampling stride (see
+	// emu.CPU.TraceEvery).
+	Trace      obs.TraceSink
+	TraceEvery uint64
 }
 
 // RunWith executes an image under a configured kernel. The context is a
@@ -173,6 +184,7 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 		MemBudget: cfg.MemBudget,
 	})
 	if err != nil {
+		cfg.Obs.Counter("emu.load_failures").Inc()
 		return RunResult{Err: err}
 	}
 	cpu.MaxInst = cfg.MaxInst
@@ -184,16 +196,40 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 	if cfg.CheckStride != 0 {
 		cpu.CheckStride = cfg.CheckStride
 	}
+	cpu.Trace = cfg.Trace
+	cpu.TraceEvery = cfg.TraceEvery
 	os := emu.NewOS(cfg.Stdin)
 	os.DebuggerAttached = cfg.DebuggerAttached
 	cpu.OS = os
 	err = cpu.RunContext(ctx)
+	recordRun(cfg.Obs, cpu, err)
 	return RunResult{
 		Status: cpu.Status,
 		Stdout: os.Stdout.String(),
 		Err:    err,
 		Icount: cpu.Icount,
 		EIP:    cpu.EIP,
+	}
+}
+
+// recordRun accumulates one finished emulator run into the registry.
+// The per-run cost is a handful of map lookups; nothing here runs per
+// instruction.
+func recordRun(reg *obs.Registry, cpu *emu.CPU, err error) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("emu.runs").Inc()
+	reg.Counter("emu.insts").Add(cpu.Icount)
+	var de *emu.DeadlineError
+	switch {
+	case err == nil:
+	case errors.As(err, &de):
+		reg.Counter("emu.watchdog_trips").Inc()
+	case errors.Is(err, emu.ErrInstLimit):
+		reg.Counter("emu.inst_limit_trips").Inc()
+	default:
+		reg.Counter("emu.faults").Inc()
 	}
 }
 

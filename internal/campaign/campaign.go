@@ -36,6 +36,7 @@ import (
 	"parallax/internal/core"
 	"parallax/internal/emu"
 	"parallax/internal/image"
+	"parallax/internal/obs"
 )
 
 // Config tunes a campaign.
@@ -61,6 +62,12 @@ type Config struct {
 	// defaults).
 	MemBudget uint64
 	StackSize uint32
+	// Obs, when non-nil, accumulates campaign activity into a shared
+	// metrics registry: per-class outcome counters
+	// (campaign.outcome.<class>), campaign.mutants, campaign.panics,
+	// and — via attack.RunWith — the emu.* run counters for every
+	// mutant execution. Nil disables recording entirely.
+	Obs *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -100,6 +107,7 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 	clean := attack.RunWith(ctx, prot.Image, attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
+		Obs: cfg.Obs,
 	})
 	if clean.Err != nil {
 		return nil, fmt.Errorf("campaign: clean reference run failed: %w", clean.Err)
@@ -155,7 +163,30 @@ feed:
 		rep.add(rows, m, classes[i])
 	}
 	rep.finish(rows)
+	recordOutcomes(cfg.Obs, rep, classes)
 	return rep, nil
+}
+
+// recordOutcomes mirrors a finished campaign's classification tallies
+// into the registry. Done once per campaign, after the workers join, so
+// the mutant hot loop carries no recording cost beyond attack.RunWith's.
+func recordOutcomes(reg *obs.Registry, rep *Report, classes []Class) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("campaign.mutants").Add(uint64(len(classes)))
+	reg.Counter("campaign.panics").Add(uint64(rep.Panics))
+	var byClass [numClasses]uint64
+	for _, c := range classes {
+		if c < numClasses {
+			byClass[c]++
+		}
+	}
+	for c, n := range byClass {
+		if n != 0 {
+			reg.Counter("campaign.outcome." + Class(c).String()).Add(n)
+		}
+	}
 }
 
 // runOne executes and classifies a single mutant. It never panics:
@@ -191,6 +222,7 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 	res := attack.RunWith(mctx, img, attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
+		Obs: cfg.Obs,
 	})
 	return classify(m, res, clean, guard)
 }

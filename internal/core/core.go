@@ -14,6 +14,7 @@ import (
 	"parallax/internal/gadget"
 	"parallax/internal/image"
 	"parallax/internal/ir"
+	"parallax/internal/obs"
 	"parallax/internal/rewrite"
 	"parallax/internal/ropc"
 )
@@ -74,6 +75,13 @@ type Options struct {
 	// extra passes. Hints from a converged run of the *same* module
 	// and options let the pipeline converge in a single pass.
 	Hints *Hints
+
+	// Obs, when non-nil, records span timings for the pipeline stages
+	// (codegen, rewrite, layout, scan, chain-compile, install) into the
+	// shared registry, with pprof labels so CPU profiles attribute time
+	// per stage. Nil disables all instrumentation; it never affects the
+	// output image.
+	Obs *obs.Registry
 }
 
 // Hints captures the converged fixpoint sizes of a Protect run: chain
@@ -246,7 +254,9 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		if err != nil {
 			return nil, err
 		}
-		catalog = scan(img, gadget.ScanConfig{})
+		opts.Obs.Stage("scan", func() {
+			catalog = scan(img, gadget.ScanConfig{})
+		})
 		env := &ropc.Env{
 			Catalog:    catalog,
 			GlobalAddr: symResolver(img),
@@ -255,45 +265,61 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		stable = true
 		chains = make(map[string]*ropc.Chain, len(verify))
 		tables = make(map[string]*dyngen.Tables, len(verify))
-		for _, fn := range verify {
-			frame, err := img.Lookup(chain.FrameSym(fn))
-			if err != nil {
-				return nil, fmt.Errorf("core: frame for %s: %w", fn, err)
+		opts.Obs.Stage("chain-compile", func() {
+			for _, fn := range verify {
+				frame, lerr := img.Lookup(chain.FrameSym(fn))
+				if lerr != nil {
+					err = fmt.Errorf("core: frame for %s: %w", fn, lerr)
+					return
+				}
+				ch, cerr := ropc.CompileWith(work.Func(fn), env, frame.Addr,
+					ropc.Options{Mu: opts.MuChains})
+				if cerr != nil {
+					err = fmt.Errorf("core: chain for %s: %w", fn, cerr)
+					return
+				}
+				tb, terr := dyngen.BuildTables(cfgs[fn], ch, env)
+				if terr != nil {
+					err = fmt.Errorf("core: tables for %s: %w", fn, terr)
+					return
+				}
+				if ch.ByteLen() != chainLens[fn] || ch.ExitPtrIndex != exitIdxs[fn] ||
+					len(tb.Offs) != offsLens[fn] || len(tb.Idx) != idxLens[fn] {
+					stable = false
+					chainLens[fn] = ch.ByteLen()
+					exitIdxs[fn] = ch.ExitPtrIndex
+					offsLens[fn] = len(tb.Offs)
+					idxLens[fn] = len(tb.Idx)
+				}
+				chains[fn] = ch
+				tables[fn] = tb
 			}
-			ch, err := ropc.CompileWith(work.Func(fn), env, frame.Addr,
-				ropc.Options{Mu: opts.MuChains})
-			if err != nil {
-				return nil, fmt.Errorf("core: chain for %s: %w", fn, err)
-			}
-			tb, err := dyngen.BuildTables(cfgs[fn], ch, env)
-			if err != nil {
-				return nil, fmt.Errorf("core: tables for %s: %w", fn, err)
-			}
-			if ch.ByteLen() != chainLens[fn] || ch.ExitPtrIndex != exitIdxs[fn] ||
-				len(tb.Offs) != offsLens[fn] || len(tb.Idx) != idxLens[fn] {
-				stable = false
-				chainLens[fn] = ch.ByteLen()
-				exitIdxs[fn] = ch.ExitPtrIndex
-				offsLens[fn] = len(tb.Offs)
-				idxLens[fn] = len(tb.Idx)
-			}
-			chains[fn] = ch
-			tables[fn] = tb
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if !stable {
 		return nil, fmt.Errorf("core: protection layout did not converge after %d passes", maxPasses)
 	}
 
-	for _, fn := range verify {
-		if err := dyngen.Install(img, cfgs[fn], chains[fn], tables[fn]); err != nil {
-			return nil, fmt.Errorf("core: installing chain for %s: %w", fn, err)
-		}
-		if opts.ChecksumChains {
-			if err := dyngen.InstallChecker(img, fn, chains[fn]); err != nil {
-				return nil, fmt.Errorf("core: installing chain checksum for %s: %w", fn, err)
+	var installErr error
+	opts.Obs.Stage("install", func() {
+		for _, fn := range verify {
+			if err := dyngen.Install(img, cfgs[fn], chains[fn], tables[fn]); err != nil {
+				installErr = fmt.Errorf("core: installing chain for %s: %w", fn, err)
+				return
+			}
+			if opts.ChecksumChains {
+				if err := dyngen.InstallChecker(img, fn, chains[fn]); err != nil {
+					installErr = fmt.Errorf("core: installing chain checksum for %s: %w", fn, err)
+					return
+				}
 			}
 		}
+	})
+	if installErr != nil {
+		return nil, installErr
 	}
 
 	p := &Protected{
@@ -362,7 +388,11 @@ func buildProtectedObject(m *ir.Module, verify []string, frameWords map[string]i
 	opts Options, cfgs map[string]dyngen.Config,
 	chainLens, exitIdxs, offsLens, idxLens map[string]int) (*image.Image, int, error) {
 
-	obj, err := codegen.Compile(m)
+	var obj *image.Object
+	var err error
+	opts.Obs.Stage("codegen", func() {
+		obj, err = codegen.Compile(m)
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -383,7 +413,10 @@ func buildProtectedObject(m *ir.Module, verify []string, frameWords map[string]i
 				}
 			}
 		}
-		res, err := rewrite.SplitImmediates(obj, targets)
+		var res *rewrite.SplitResult
+		opts.Obs.Stage("rewrite", func() {
+			res, err = rewrite.SplitImmediates(obj, targets)
+		})
 		if err == nil {
 			rewriteSites = res.Sites
 		} else if res == nil || res.Sites != 0 {
@@ -427,7 +460,10 @@ func buildProtectedObject(m *ir.Module, verify []string, frameWords map[string]i
 			return nil, 0, err
 		}
 	}
-	img, err := image.Link(obj, opts.Layout)
+	var img *image.Image
+	opts.Obs.Stage("layout", func() {
+		img, err = image.Link(obj, opts.Layout)
+	})
 	if err != nil {
 		return nil, 0, err
 	}

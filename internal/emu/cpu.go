@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"parallax/internal/image"
+	"parallax/internal/obs"
 	"parallax/internal/x86"
 )
 
@@ -65,6 +66,16 @@ type CPU struct {
 	// (from = the return instruction's address, to = the target).
 	// System-level ROP monitors (§VIII-B) attach here.
 	RetHook func(from, to uint32)
+
+	// Trace, when non-nil, receives execution events: every near/far
+	// return (obs.EventRet — the gadget boundary of a running ROP
+	// chain) and instruction events sampled per TraceEvery. The
+	// disabled cost is one nil check per instruction.
+	Trace obs.TraceSink
+	// TraceEvery is the instruction-event sampling stride: 0 emits no
+	// obs.EventInst (ret events still flow), 1 traces every
+	// instruction, N every Nth.
+	TraceEvery uint64
 
 	// MaxInst bounds Run; 0 means DefaultMaxInst.
 	MaxInst uint64
@@ -205,6 +216,9 @@ func (c *CPU) Step() error {
 		c.profile[c.EIP]++
 	}
 	c.Icount++
+	if c.Trace != nil && c.TraceEvery != 0 && c.Icount%c.TraceEvery == 0 {
+		c.Trace.Emit(obs.Event{Kind: obs.EventInst, Icount: c.Icount, PC: c.EIP})
+	}
 	return c.exec(inst)
 }
 

@@ -3,6 +3,7 @@ package emu
 import (
 	"fmt"
 
+	"parallax/internal/obs"
 	"parallax/internal/x86"
 )
 
@@ -386,6 +387,9 @@ func (c *CPU) exec(inst x86.Inst) error {
 		if c.RetHook != nil {
 			c.RetHook(c.EIP, ret)
 		}
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Kind: obs.EventRet, Icount: c.Icount, PC: c.EIP, To: ret})
+		}
 		c.EIP = ret
 		return c.checkSentinel()
 
@@ -400,6 +404,9 @@ func (c *CPU) exec(inst x86.Inst) error {
 		c.Reg[x86.ESP] += uint32(uint16(inst.Imm))
 		if c.RetHook != nil {
 			c.RetHook(c.EIP, ret)
+		}
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Kind: obs.EventRet, Icount: c.Icount, PC: c.EIP, To: ret})
 		}
 		c.EIP = ret
 		return c.checkSentinel()

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/dyngen"
+	"parallax/internal/obs"
+)
+
+// PipelineTimingRow is one pipeline stage's share of a protect run:
+// how often the stage ran (fixpoint passes repeat scan/chain-compile),
+// its total and mean wall time, and its fraction of the summed stage
+// time.
+type PipelineTimingRow struct {
+	Stage string
+	Count uint64
+	Total time.Duration
+	Mean  time.Duration
+	Share float64
+}
+
+// PipelineTiming protects one corpus program with an obs.Registry
+// attached and returns the per-stage wall-time breakdown of the
+// pipeline (codegen, rewrite, layout, scan, chain-compile, install),
+// sorted by total time descending, plus the full registry report for
+// callers that want the raw counters. Wall-clock numbers vary by host;
+// the stable facts are the stage counts (fixpoint pass structure) and
+// the relative shares.
+func PipelineTiming(progName string, mode dyngen.Mode) ([]PipelineTimingRow, *obs.Report, error) {
+	p, err := corpus.ByName(progName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: %w", err)
+	}
+	reg := obs.NewRegistry()
+	_, err = core.Protect(p.Build(), core.Options{
+		VerifyFuncs: []string{p.VerifyFunc},
+		ChainMode:   mode,
+		Obs:         reg,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: protecting %s: %w", p.Name, err)
+	}
+	rep := reg.Snapshot()
+
+	var sum time.Duration
+	for _, st := range rep.Stages {
+		sum += st.Total()
+	}
+	rows := make([]PipelineTimingRow, 0, len(rep.Stages))
+	for name, st := range rep.Stages {
+		row := PipelineTimingRow{
+			Stage: name,
+			Count: st.Count,
+			Total: st.Total(),
+			Mean:  st.Mean(),
+		}
+		if sum > 0 {
+			row.Share = float64(st.Total()) / float64(sum)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Stage < rows[j].Stage
+	})
+	return rows, rep, nil
+}

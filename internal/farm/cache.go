@@ -129,9 +129,9 @@ func scanKey(img *image.Image, cfg gadget.ScanConfig) key {
 }
 
 // jobKey addresses a whole protection job: the module content and
-// every Options field that influences the output image. ScanFunc and
-// Hints are deliberately excluded — they are transparent accelerators,
-// not inputs.
+// every Options field that influences the output image. ScanFunc,
+// Hints and Obs are deliberately excluded — accelerators and observers
+// never change output bytes, so they must not fragment the cache.
 func jobKey(m *ir.Module, opts core.Options) key {
 	h := sha256.New()
 	// Module: the IR printer covers entry, funcs, blocks and

@@ -31,6 +31,7 @@ import (
 
 	"parallax/internal/core"
 	"parallax/internal/ir"
+	"parallax/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -68,6 +69,12 @@ type Config struct {
 	// Breaker configures the consecutive-failure circuit breaker. The
 	// zero value disables it.
 	Breaker BreakerConfig
+	// Obs, when non-nil, mirrors farm activity into a shared metrics
+	// registry (farm.* counters, queue-depth gauge, latency histograms,
+	// breaker state) so one report can merge farm, emulator and
+	// pipeline-stage views. Nil keeps the farm observability-free: the
+	// per-event cost is a single nil check.
+	Obs *obs.Registry
 }
 
 // Farm is a worker pool executing protection jobs. Create with New,
@@ -75,6 +82,7 @@ type Config struct {
 type Farm struct {
 	cache      *Cache
 	ct         counters
+	om         farmMetrics
 	jobs       chan *Job
 	wg         sync.WaitGroup
 	retry      RetryPolicy
@@ -104,6 +112,7 @@ func New(cfg Config) *Farm {
 	}
 	f := &Farm{
 		cache:      cfg.Cache,
+		om:         newFarmMetrics(cfg.Obs),
 		jobs:       make(chan *Job, cfg.Queue),
 		retry:      cfg.Retry.withDefaults(),
 		jobTimeout: cfg.JobTimeout,
@@ -111,6 +120,10 @@ func New(cfg Config) *Farm {
 		sleep:      realSleep,
 	}
 	f.brk = newBreaker(cfg.Breaker, func() time.Time { return f.now() })
+	if f.brk != nil {
+		f.brk.tripCtr = cfg.Obs.Counter("farm.breaker_trips")
+		f.brk.openG = cfg.Obs.Gauge("farm.breaker_open")
+	}
 	f.protectFn = f.protect
 	f.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -122,8 +135,20 @@ func New(cfg Config) *Farm {
 // Cache returns the farm's stage cache (to share with another farm).
 func (f *Farm) Cache() *Cache { return f.cache }
 
-// Stats returns a point-in-time snapshot of the farm's counters.
+// Stats returns a point-in-time snapshot of the farm's counters. It is
+// an alias for StatsSnapshot, which documents the concurrency contract.
 func (f *Farm) Stats() Stats {
+	return f.StatsSnapshot()
+}
+
+// StatsSnapshot returns a copy of the farm's counters that is safe to
+// read while jobs are active: every field is loaded atomically (or
+// under the breaker's mutex), so no value is ever torn. The snapshot
+// is per-field consistent, not globally linearized — a job finishing
+// mid-snapshot can appear in JobsCompleted before JobsSubmitted
+// reflects a concurrent submit. Callers needing cross-field invariants
+// should quiesce the farm first (Close, or wait on all jobs).
+func (f *Farm) StatsSnapshot() Stats {
 	s := f.ct.snapshot()
 	s.BreakerTrips = f.brk.tripCount()
 	return s
@@ -245,14 +270,17 @@ func (f *Farm) Submit(ctx context.Context, name string, m *ir.Module, opts core.
 		return nil, fmt.Errorf("farm: job %q: %w", name, ErrClosed)
 	}
 	atomic.AddInt64(&f.ct.queueDepth, 1)
+	f.om.queueDepth.Add(1)
 	select {
 	case f.jobs <- j:
 	case <-ctx.Done():
 		atomic.AddInt64(&f.ct.queueDepth, -1)
+		f.om.queueDepth.Add(-1)
 		return nil, fmt.Errorf("farm: submitting job %q: %w", name, ctx.Err())
 	}
 	atomic.AddUint64(&f.ct.submitted, 1)
-	go j.watchCancel(&f.ct)
+	f.om.submitted.Inc()
+	go j.watchCancel(f)
 	return j, nil
 }
 
@@ -273,14 +301,16 @@ func (f *Farm) Protect(ctx context.Context, name string, m *ir.Module, opts core
 // watchCancel fails the job early if its context is cancelled while it
 // still sits in the queue. The queued→done transition is arbitrated by
 // the state CAS, so a worker that dequeues the job afterwards skips it.
-func (j *Job) watchCancel(ct *counters) {
+func (j *Job) watchCancel(f *Farm) {
 	select {
 	case <-j.ctx.Done():
 		if atomic.CompareAndSwapInt32(&j.state, stateQueued, stateDone) {
 			j.res.QueueWait = time.Since(j.submitted)
 			j.res.Err = fmt.Errorf("farm: job %q cancelled while queued: %w", j.Name, j.ctx.Err())
-			atomic.AddInt64(&ct.queueDepth, -1)
-			atomic.AddUint64(&ct.cancelled, 1)
+			atomic.AddInt64(&f.ct.queueDepth, -1)
+			atomic.AddUint64(&f.ct.cancelled, 1)
+			f.om.queueDepth.Add(-1)
+			f.om.cancelled.Inc()
 			j.finish()
 		}
 	case <-j.done:
@@ -294,8 +324,10 @@ func (f *Farm) worker() {
 			continue // cancelled while queued; watcher already closed it
 		}
 		atomic.AddInt64(&f.ct.queueDepth, -1)
+		f.om.queueDepth.Add(-1)
 		j.res.QueueWait = time.Since(j.submitted)
 		atomic.AddInt64(&f.ct.queueNanos, j.res.QueueWait.Nanoseconds())
+		f.om.queueWaitNs.Record(uint64(j.res.QueueWait.Nanoseconds()))
 		f.run(j)
 		atomic.StoreInt32(&j.state, stateDone)
 		j.finish()
@@ -306,12 +338,15 @@ func (f *Farm) run(j *Job) {
 	if err := j.ctx.Err(); err != nil {
 		j.res.Err = fmt.Errorf("farm: job %q cancelled: %w", j.Name, err)
 		atomic.AddUint64(&f.ct.cancelled, 1)
+		f.om.cancelled.Inc()
 		return
 	}
 	if !f.brk.allow() {
 		j.res.Err = fmt.Errorf("farm: job %q: %w", j.Name, ErrCircuitOpen)
 		atomic.AddUint64(&f.ct.failed, 1)
 		atomic.AddUint64(&f.ct.breakerRejects, 1)
+		f.om.failed.Inc()
+		f.om.breakerRejects.Inc()
 		return
 	}
 
@@ -329,6 +364,7 @@ func (f *Farm) run(j *Job) {
 			break
 		}
 		atomic.AddUint64(&f.ct.retries, 1)
+		f.om.retries.Inc()
 		if serr := f.sleep(j.ctx, f.retry.backoff(attempt+1)); serr != nil {
 			err = fmt.Errorf("farm: job %q cancelled during retry backoff: %w", j.Name, serr)
 			break
@@ -336,14 +372,21 @@ func (f *Farm) run(j *Job) {
 	}
 	j.res.Runtime = time.Since(start)
 	atomic.AddInt64(&f.ct.protectNanos, j.res.Runtime.Nanoseconds())
+	f.om.jobRuntimeNs.Record(uint64(j.res.Runtime.Nanoseconds()))
+	// The per-job scan tallies are stable here: every attempt ran on
+	// this goroutine.
+	f.om.scanHits.Add(j.res.ScanHits)
+	f.om.scanMisses.Add(j.res.ScanMisses)
 	if err != nil {
 		j.res.Err = err
 		atomic.AddUint64(&f.ct.failed, 1)
+		f.om.failed.Inc()
 		f.brk.recordFailure()
 		return
 	}
 	j.res.Protected = prot
 	atomic.AddUint64(&f.ct.completed, 1)
+	f.om.completed.Inc()
 	f.brk.recordSuccess()
 }
 
@@ -353,6 +396,7 @@ func (f *Farm) protect(j *Job) (prot *core.Protected, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddUint64(&f.ct.panics, 1)
+			f.om.panics.Inc()
 			err = fmt.Errorf("farm: job %q: %w", j.Name,
 				&PanicError{Value: r, Stack: debug.Stack()})
 		}
@@ -367,8 +411,10 @@ func (f *Farm) protect(j *Job) (prot *core.Protected, err error) {
 			opts.Hints = h
 			j.res.HintUsed = true
 			atomic.AddUint64(&f.ct.hintHits, 1)
+			f.om.hintHits.Inc()
 		} else {
 			atomic.AddUint64(&f.ct.hintMisses, 1)
+			f.om.hintMisses.Inc()
 		}
 	}
 	prot, err = core.Protect(j.module, opts)

@@ -1,0 +1,53 @@
+package farm
+
+import "parallax/internal/obs"
+
+// farmMetrics holds the farm's handles into a shared obs.Registry.
+// With no registry configured every handle is nil and each recording
+// site costs a single nil check (see the obs package contract), so the
+// farm's hot path is unchanged when observability is off.
+//
+// The handles mirror the counters struct rather than replacing it:
+// Stats() stays self-contained and dependency-free, while the registry
+// view merges farm activity with emulator and pipeline metrics for
+// `parallax campaign --metrics` style reports.
+type farmMetrics struct {
+	submitted      *obs.Counter
+	completed      *obs.Counter
+	failed         *obs.Counter
+	cancelled      *obs.Counter
+	panics         *obs.Counter
+	retries        *obs.Counter
+	breakerRejects *obs.Counter
+
+	scanHits   *obs.Counter
+	scanMisses *obs.Counter
+	hintHits   *obs.Counter
+	hintMisses *obs.Counter
+
+	queueDepth *obs.Gauge
+
+	queueWaitNs  *obs.Histogram
+	jobRuntimeNs *obs.Histogram
+}
+
+// newFarmMetrics resolves the handle set. A nil registry yields nil
+// handles (the disabled state); r.Counter et al. are nil-safe.
+func newFarmMetrics(r *obs.Registry) farmMetrics {
+	return farmMetrics{
+		submitted:      r.Counter("farm.jobs_submitted"),
+		completed:      r.Counter("farm.jobs_completed"),
+		failed:         r.Counter("farm.jobs_failed"),
+		cancelled:      r.Counter("farm.jobs_cancelled"),
+		panics:         r.Counter("farm.panics"),
+		retries:        r.Counter("farm.retries"),
+		breakerRejects: r.Counter("farm.breaker_rejects"),
+		scanHits:       r.Counter("farm.scan_cache_hits"),
+		scanMisses:     r.Counter("farm.scan_cache_misses"),
+		hintHits:       r.Counter("farm.hint_cache_hits"),
+		hintMisses:     r.Counter("farm.hint_cache_misses"),
+		queueDepth:     r.Gauge("farm.queue_depth"),
+		queueWaitNs:    r.Histogram("farm.queue_wait_ns"),
+		jobRuntimeNs:   r.Histogram("farm.job_runtime_ns"),
+	}
+}

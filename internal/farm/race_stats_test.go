@@ -1,0 +1,99 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/obs"
+)
+
+// TestStatsSnapshotDuringJobs hammers StatsSnapshot (and the obs
+// registry snapshot) from several goroutines while the farm is actively
+// protecting jobs. Run under -race this is the audit for the "Stats
+// reads race with worker updates" concern: every counter is atomic and
+// the breaker state is mutex-guarded, so the detector must stay quiet.
+// It also checks snapshot monotonicity — lifecycle counters never move
+// backwards between two snapshots taken by the same reader.
+func TestStatsSnapshotDuringJobs(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := New(Config{
+		Workers: 4,
+		Obs:     reg,
+		Breaker: BreakerConfig{Threshold: 3},
+	})
+	defer f.Close()
+
+	prog := corpus.All()[0]
+	opts := core.Options{VerifyFuncs: []string{prog.VerifyFunc}, Obs: reg}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last Stats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := f.StatsSnapshot()
+				if s.JobsSubmitted < last.JobsSubmitted ||
+					s.JobsCompleted < last.JobsCompleted ||
+					s.JobsFailed < last.JobsFailed {
+					t.Errorf("snapshot went backwards: %+v after %+v", s, last)
+					return
+				}
+				last = s
+				// The registry snapshot walks the same hot counters.
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+
+	const jobs = 12
+	ctx := context.Background()
+	futures := make([]*Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := f.Submit(ctx, prog.Name, prog.Build(), opts)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		futures = append(futures, j)
+	}
+	for _, j := range futures {
+		if res, err := j.Wait(ctx); err != nil || res.Err != nil {
+			t.Fatalf("job failed: wait=%v res=%v", err, res.Err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	s := f.StatsSnapshot()
+	if s.JobsSubmitted != jobs || s.JobsCompleted != jobs {
+		t.Errorf("final stats %d submitted / %d completed, want %d/%d",
+			s.JobsSubmitted, s.JobsCompleted, jobs, jobs)
+	}
+	// The registry mirror must agree with the farm's own counters once
+	// the farm is quiet.
+	rep := reg.Snapshot()
+	if got := rep.Counters["farm.jobs_completed"]; got != jobs {
+		t.Errorf("registry farm.jobs_completed = %d, want %d", got, jobs)
+	}
+	if got := rep.Counters["farm.jobs_submitted"]; got != jobs {
+		t.Errorf("registry farm.jobs_submitted = %d, want %d", got, jobs)
+	}
+	hits := rep.Counters["farm.scan_cache_hits"]
+	misses := rep.Counters["farm.scan_cache_misses"]
+	if hits+misses == 0 {
+		t.Error("registry recorded no scan-cache lookups")
+	}
+	if _, ok := rep.Stages["scan"]; !ok {
+		t.Error("registry recorded no scan stage timing (Options.Obs not threaded)")
+	}
+}

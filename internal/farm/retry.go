@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"parallax/internal/obs"
 )
 
 // ErrCircuitOpen is wrapped by jobs rejected while the farm's circuit
@@ -73,6 +75,11 @@ type breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
+	// Registry mirrors (nil-safe handles; nil when the farm has no
+	// obs.Registry): trip count and a 0/1 open-state gauge.
+	tripCtr *obs.Counter
+	openG   *obs.Gauge
+
 	mu        sync.Mutex
 	consec    int
 	openUntil time.Time
@@ -111,6 +118,8 @@ func (b *breaker) recordFailure() {
 	if b.consec >= b.threshold {
 		b.openUntil = b.now().Add(b.cooldown)
 		b.trips++
+		b.tripCtr.Inc()
+		b.openG.Set(1)
 	}
 }
 
@@ -123,6 +132,7 @@ func (b *breaker) recordSuccess() {
 	defer b.mu.Unlock()
 	b.consec = 0
 	b.openUntil = time.Time{}
+	b.openG.Set(0)
 }
 
 func (b *breaker) tripCount() uint64 {

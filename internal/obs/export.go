@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is a point-in-time export of a registry: every counter, gauge,
+// histogram and stage timing, plus caller-derived values (rates,
+// ratios) that are not first-class metrics. Reports marshal to stable
+// JSON (map keys sort) and render as an aligned human table.
+type Report struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Stages     map[string]StageSnapshot     `json:"stages,omitempty"`
+	Derived    map[string]float64           `json:"derived,omitempty"`
+}
+
+// Snapshot exports the registry's current state. A nil registry yields
+// an empty (but usable) report.
+func (r *Registry) Snapshot() *Report {
+	rep := &Report{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Stages:     map[string]StageSnapshot{},
+		Derived:    map[string]float64{},
+	}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	stages := make(map[string]*stageStat, len(r.stages))
+	for k, v := range r.stages {
+		stages[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		rep.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		rep.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		rep.Histograms[k] = h.Snapshot()
+	}
+	for k, st := range stages {
+		rep.Stages[k] = StageSnapshot{Count: st.count.Load(), TotalNanos: st.nanos.Load()}
+	}
+	return rep
+}
+
+// Derive records a caller-computed value (a hit rate, a ratio) into the
+// report.
+func (rep *Report) Derive(name string, v float64) {
+	if rep.Derived == nil {
+		rep.Derived = map[string]float64{}
+	}
+	rep.Derived[name] = v
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteTable renders the report as an aligned human-readable table,
+// sections in a fixed order and rows sorted by metric name.
+func (rep *Report) WriteTable(w io.Writer) {
+	if len(rep.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(rep.Counters) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, rep.Counters[k])
+		}
+	}
+	if len(rep.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(rep.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, rep.Gauges[k])
+		}
+	}
+	if len(rep.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, k := range sortedKeys(rep.Histograms) {
+			h := rep.Histograms[k]
+			fmt.Fprintf(w, "  %-40s count %d  mean %.1f  min %d  max %d\n",
+				k, h.Count, h.Mean(), h.Min, h.Max)
+		}
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Fprintln(w, "stages:")
+		for _, k := range sortedKeys(rep.Stages) {
+			st := rep.Stages[k]
+			fmt.Fprintf(w, "  %-40s count %-6d total %-12v mean %v\n",
+				k, st.Count, st.Total().Round(time.Microsecond),
+				st.Mean().Round(time.Microsecond))
+		}
+	}
+	if len(rep.Derived) > 0 {
+		fmt.Fprintln(w, "derived:")
+		for _, k := range sortedKeys(rep.Derived) {
+			fmt.Fprintf(w, "  %-40s %12.4f\n", k, rep.Derived[k])
+		}
+	}
+}
+
+// String renders the table form.
+func (rep *Report) String() string {
+	var b strings.Builder
+	rep.WriteTable(&b)
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallax/internal/attack"
+	"parallax/internal/core"
+	"parallax/internal/corpus"
+	"parallax/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenPrograms are the seed-protected functions whose chain traces
+// are pinned. Static chains keep the bytes — and therefore the gadget
+// addresses in the trace — fully deterministic.
+var goldenPrograms = []string{"wget", "nginx"}
+
+// chainTrace protects prog with static chains, runs it with a trace
+// sink filtered to returns entering chain gadgets, and renders the
+// first maxEvents as canonical text lines. Everything upstream of the
+// returned bytes is deterministic: the protection layout, the
+// emulator, and the Event.String format.
+func chainTrace(t *testing.T, progName string, maxEvents int) []byte {
+	t.Helper()
+	p, err := corpus.ByName(progName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.Protect(p.Build(), core.Options{
+		VerifyFuncs: []string{p.VerifyFunc},
+	})
+	if err != nil {
+		t.Fatalf("protecting %s: %v", progName, err)
+	}
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	for _, fn := range prot.VerifyFuncs {
+		for _, g := range prot.Chains[fn].Gadgets() {
+			spans = append(spans, span{g.Addr, g.Addr + uint32(g.Len)})
+		}
+	}
+	if len(spans) == 0 {
+		t.Fatalf("%s: protection produced no chain gadgets", progName)
+	}
+	cap := &obs.CaptureSink{Max: maxEvents}
+	sink := &obs.FilterSink{
+		Keep: func(e obs.Event) bool {
+			if e.Kind != obs.EventRet {
+				return false
+			}
+			for _, s := range spans {
+				if e.To >= s.lo && e.To < s.hi {
+					return true
+				}
+			}
+			return false
+		},
+		Next: cap,
+	}
+	res := attack.RunWith(context.Background(), prot.Image, attack.RunConfig{
+		Stdin: p.Stdin,
+		Trace: sink,
+	})
+	if res.Err != nil {
+		t.Fatalf("running protected %s: %v", progName, res.Err)
+	}
+	if len(cap.Events) == 0 {
+		t.Fatalf("%s: chain filter captured no events (total %d emitted)", progName, cap.Total)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# %s/%s static chain, first %d gadget-entry returns of %d\n",
+		progName, p.VerifyFunc, len(cap.Events), cap.Total)
+	for _, e := range cap.Events {
+		buf.WriteString(e.String())
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenChainTraces replays the committed gadget-chain traces:
+// protect, run, capture, and compare byte-for-byte against testdata/.
+// Two back-to-back captures must also agree, which pins the whole
+// pipeline's determinism — a layout, scanner, emulator or trace-format
+// change that moves a single gadget shows up as a diff here.
+// Regenerate intentionally with: go test ./internal/obs/ -run Golden -update
+func TestGoldenChainTraces(t *testing.T) {
+	for _, prog := range goldenPrograms {
+		t.Run(prog, func(t *testing.T) {
+			got := chainTrace(t, prog, 256)
+			again := chainTrace(t, prog, 256)
+			if !bytes.Equal(got, again) {
+				t.Fatal("trace is not byte-stable across two runs in one process")
+			}
+			path := filepath.Join("testdata", prog+"_chain_trace.golden")
+			if *update {
+				if err := os.WriteFile(path, got, 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("trace diverged from %s\n got %d bytes, want %d; first lines:\n%s",
+					path, len(got), len(want), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line pair for a readable
+// failure message.
+func firstDiff(got, want []byte) string {
+	g := bytes.Split(got, []byte{'\n'})
+	w := bytes.Split(want, []byte{'\n'})
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("line %d:\n got: %s\nwant: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("length differs: %d vs %d lines", len(g), len(w))
+}

@@ -1,0 +1,111 @@
+// Package obs is the zero-dependency observability layer shared by the
+// whole Parallax stack: counter/gauge/histogram metrics with atomic
+// hot-path recording, a ring-buffered execution tracer for the
+// emulator, and span-style timing (with pprof labels) around the
+// protection pipeline stages.
+//
+// The design contract is that instrumentation must be free when it is
+// off. Every metric handle and every sink is nil-safe: a nil *Counter,
+// *Gauge, *Histogram or *Registry turns each recording call into a
+// single nil check, so subsystems keep their handles unconditionally
+// and never branch on "is observability configured". A component is
+// instrumented by asking a shared *Registry (possibly nil) for its
+// handles once, up front:
+//
+//	m := struct {
+//	    jobs *obs.Counter
+//	    lat  *obs.Histogram
+//	}{reg.Counter("farm.jobs"), reg.Histogram("farm.job_latency_ns")}
+//	...
+//	m.jobs.Add(1)            // no-op when reg was nil
+//	m.lat.Record(uint64(d))  // ditto
+//
+// Registries are safe for concurrent use; handle creation takes a
+// mutex, recording is lock-free atomics.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is the central hub metric handles are created from and
+// snapshots are exported of. The zero value is not useful; use
+// NewRegistry. A nil *Registry is fully functional as "observability
+// disabled": every handle it returns is nil and records nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stages   map[string]*stageStat
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		stages:   make(map[string]*stageStat),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (recording-disabled) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (recording-disabled) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A
+// nil registry returns a nil (recording-disabled) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the keys of m in lexical order; exports use it so
+// reports are deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

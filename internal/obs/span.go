@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// stageStat accumulates span timings for one pipeline stage.
+type stageStat struct {
+	count atomic.Uint64
+	nanos atomic.Int64
+}
+
+// Span is an open timing interval over a named pipeline stage. Spans
+// are values; the zero Span (from a nil registry) ends without
+// recording.
+type Span struct {
+	stat  *stageStat
+	start time.Time
+}
+
+// StartSpan opens a timing span for the named stage. End records its
+// duration; overlapping and concurrent spans of the same stage simply
+// accumulate.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{stat: r.stage(name), start: time.Now()}
+}
+
+// End closes the span and records its duration.
+func (s Span) End() {
+	if s.stat == nil {
+		return
+	}
+	s.stat.count.Add(1)
+	s.stat.nanos.Add(time.Since(s.start).Nanoseconds())
+}
+
+// Stage times f as one span of the named stage and runs it under a
+// pprof label (stage=name), so CPU profiles taken during go test -bench
+// attribute interpreter and pipeline time to stages. A nil registry
+// runs f directly with no timing and no labels.
+func (r *Registry) Stage(name string, f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	sp := r.StartSpan(name)
+	pprof.Do(context.Background(), pprof.Labels("stage", name), func(context.Context) {
+		f()
+	})
+	sp.End()
+}
+
+// stage returns the named stage accumulator, creating it on first use.
+func (r *Registry) stage(name string) *stageStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stages[name]
+	if !ok {
+		st = &stageStat{}
+		r.stages[name] = st
+	}
+	return st
+}
+
+// StageSnapshot is one stage's accumulated timing.
+type StageSnapshot struct {
+	// Count is the number of completed spans.
+	Count uint64 `json:"count"`
+	// TotalNanos is the summed span duration in nanoseconds.
+	TotalNanos int64 `json:"total_ns"`
+}
+
+// Total returns the accumulated duration.
+func (s StageSnapshot) Total() time.Duration { return time.Duration(s.TotalNanos) }
+
+// Mean returns the average span duration.
+func (s StageSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNanos / int64(s.Count))
+}
