@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"parallax/internal/attack"
+	"parallax/internal/campaign"
 	"parallax/internal/codegen"
 	"parallax/internal/core"
 	"parallax/internal/corpus"
@@ -173,6 +174,37 @@ func BenchmarkFarmThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.JobsCompleted)/elapsed, "jobs/s")
 	b.ReportMetric(100*st.ScanHitRate(), "scan-hit-%")
+}
+
+// BenchmarkCampaignEngine compares the tamper campaign's two mutant
+// execution engines on the wget corpus program: clone+reload per
+// mutant versus one snapshotted emulator per worker restored between
+// mutants. Reported metrics are each path's wall time and the
+// reload/snapshot speedup; the benchmark fails if the detection
+// matrices diverge.
+func BenchmarkCampaignEngine(b *testing.B) {
+	var reloadSec, snapSec, speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.CampaignEngines(context.Background(), nil, campaign.Config{
+			Stride:     5,
+			MaxMutants: 256,
+			MaxInst:    6_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.MatrixEqual {
+				b.Fatalf("%s: detection matrices diverged between engines", r.Program)
+			}
+			reloadSec += r.ReloadSeconds
+			snapSec += r.SnapSeconds
+			speedup = r.Speedup
+		}
+	}
+	b.ReportMetric(reloadSec/float64(b.N), "reload-s/op")
+	b.ReportMetric(snapSec/float64(b.N), "snap-s/op")
+	b.ReportMetric(speedup, "speedup-x")
 }
 
 // BenchmarkGadgetScan measures the scanner over a protected text

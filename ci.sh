@@ -39,6 +39,26 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Campaign-throughput smoke: run the same enumerated wget campaign
+# through the clone+reload path and the snapshot/restore path. The
+# detection matrices must be byte-identical (hard gate), and the
+# snapshot engine must be at least as fast as reloading per mutant.
+# Per-mutant time is dominated by emulation, which both paths share
+# (see EXPERIMENTS.md), so the speed check allows 10% of wall-clock
+# noise rather than failing on scheduler jitter.
+echo "==> campaign-throughput smoke (snapshot vs reload)"
+engine_out=$(go run ./cmd/parallax-bench -experiment campaign-engine -progs wget -mutants 96)
+echo "$engine_out"
+if ! grep -q "IDENTICAL" <<<"$engine_out"; then
+    echo "FAIL: campaign engines produced divergent detection matrices" >&2
+    exit 1
+fi
+speedup=$(awk '/^wget / {gsub(/x$/,"",$5); print $5}' <<<"$engine_out")
+if [[ -z "$speedup" ]] || awk -v s="$speedup" 'BEGIN { exit !(s < 0.90) }'; then
+    echo "FAIL: snapshot engine slower than reload (speedup ${speedup:-unparsed}x)" >&2
+    exit 1
+fi
+
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "==> fuzz smoke: FuzzDecode ($FUZZTIME)"
     go test -run='^$' -fuzz=FuzzDecode -fuzztime="$FUZZTIME" ./internal/x86

@@ -28,6 +28,7 @@ func cmdCampaign(args []string) error {
 	maxInst := fs.Uint64("max", 20_000_000, "per-mutant instruction budget")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-mutant wall-clock watchdog")
 	kindsFlag := fs.String("kinds", "", "mutation kinds, comma-separated: bitflip,byteset,nopsweep,serial (default all)")
+	reuseVM := fs.Bool("reuse-vm", true, "reuse one emulator per worker via snapshot/restore (false = clone+reload per mutant)")
 	metrics := fs.Bool("metrics", false, "collect pipeline/emulator/farm metrics and print them after the matrix")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
 	fs.Parse(args)
@@ -89,6 +90,7 @@ func cmdCampaign(args []string) error {
 		Kinds:      kinds,
 		Stdin:      p.Stdin,
 		Obs:        reg,
+		Reload:     !*reuseVM,
 	})
 	if err != nil {
 		return fmt.Errorf("campaign over %s: %w", p.Name, err)

@@ -171,6 +171,12 @@ type RunConfig struct {
 	// emu.CPU.TraceEvery).
 	Trace      obs.TraceSink
 	TraceEvery uint64
+	// CPU, when non-nil, reuses an already-loaded emulator instead of
+	// loading the image — the snapshot/restore campaign path. The
+	// caller owns memory and register state (emu.CPU.Restore rewinds
+	// between runs); RunWith still installs a fresh kernel and applies
+	// the budgets above on every call. The image argument is ignored.
+	CPU *emu.CPU
 }
 
 // RunWith executes an image under a configured kernel. The context is a
@@ -179,13 +185,17 @@ type RunConfig struct {
 // run failures are reported in the result, never panicked, so attacked
 // or corrupted images can be swept mechanically.
 func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
-	cpu, err := emu.LoadImageWith(img, emu.LoadConfig{
-		StackSize: cfg.StackSize,
-		MemBudget: cfg.MemBudget,
-	})
-	if err != nil {
-		cfg.Obs.Counter("emu.load_failures").Inc()
-		return RunResult{Err: err}
+	cpu := cfg.CPU
+	if cpu == nil {
+		loaded, err := emu.LoadImageWith(img, emu.LoadConfig{
+			StackSize: cfg.StackSize,
+			MemBudget: cfg.MemBudget,
+		})
+		if err != nil {
+			cfg.Obs.Counter("emu.load_failures").Inc()
+			return RunResult{Err: err}
+		}
+		cpu = loaded
 	}
 	cpu.MaxInst = cfg.MaxInst
 	if cpu.MaxInst == 0 {
@@ -201,7 +211,7 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 	os := emu.NewOS(cfg.Stdin)
 	os.DebuggerAttached = cfg.DebuggerAttached
 	cpu.OS = os
-	err = cpu.RunContext(ctx)
+	err := cpu.RunContext(ctx)
 	recordRun(cfg.Obs, cpu, err)
 	return RunResult{
 		Status: cpu.Status,

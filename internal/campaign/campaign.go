@@ -58,6 +58,15 @@ type Config struct {
 	Kinds []Kind
 	// Stdin is the workload fed to every run, clean and mutated.
 	Stdin []byte
+	// Reload forces the legacy execution path: a full image clone +
+	// emulator load per mutant. The zero value uses the snapshot/restore
+	// engine — each worker loads the image once and rewinds dirty pages
+	// between mutants — which is behaviorally identical (see the
+	// differential tests) and allocation-free per mutant; the wall-clock
+	// win scales with image size relative to workload length (see
+	// EXPERIMENTS.md). KindSerial mutants always take the loader path
+	// regardless.
+	Reload bool
 	// MemBudget / StackSize bound each mutant's emulator (0 =
 	// defaults).
 	MemBudget uint64
@@ -117,12 +126,34 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
+	classes, panics, err := executeAll(ctx, prot, mutants, clean, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Panics: panics}
+	rows := make(map[string]*Row)
+	for i, m := range mutants {
+		rep.add(rows, m, classes[i])
+	}
+	rep.finish(rows)
+	recordOutcomes(cfg.Obs, rep, classes)
+	return rep, nil
+}
+
+// executeAll runs every mutant through the worker pool and returns the
+// per-mutant classification vector plus the recovered-panic count. It
+// is the campaign's execution core, split out so differential tests can
+// compare the two execution paths mutant by mutant. cfg must already
+// have defaults applied.
+func executeAll(ctx context.Context, prot *core.Protected, mutants []Mutant,
+	clean attack.RunResult, cfg Config) ([]Class, int, error) {
 	var stream []byte
 	for _, m := range mutants {
 		if m.Kind == KindSerial {
 			var buf bytes.Buffer
 			if _, err := prot.Image.WriteTo(&buf); err != nil {
-				return nil, fmt.Errorf("campaign: serializing image: %w", err)
+				return nil, 0, fmt.Errorf("campaign: serializing image: %w", err)
 			}
 			stream = buf.Bytes()
 			break
@@ -138,8 +169,15 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one reusable VM; a load failure here
+			// falls back to the per-mutant clone+reload path (eng nil),
+			// where the same failure surfaces per mutant.
+			var eng *vmEngine
+			if !cfg.Reload {
+				eng = newVMEngine(prot.Image, cfg)
+			}
 			for i := range next {
-				classes[i] = runOne(ctx, prot.Image, stream, guard, mutants[i], clean, cfg, &panics)
+				classes[i] = runOne(ctx, prot.Image, stream, guard, mutants[i], clean, cfg, eng, &panics)
 			}
 		}()
 	}
@@ -154,17 +192,31 @@ feed:
 	close(next)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: cancelled: %w", err)
+		return nil, 0, fmt.Errorf("campaign: cancelled: %w", err)
 	}
+	return classes, int(atomic.LoadUint64(&panics)), nil
+}
 
-	rep := &Report{Panics: int(atomic.LoadUint64(&panics))}
-	rows := make(map[string]*Row)
-	for i, m := range mutants {
-		rep.add(rows, m, classes[i])
+// vmEngine is one worker's reusable execution engine: the protected
+// image loaded into an emulator once, snapshotted, and rewound between
+// mutants so each run pays only for the pages the previous one dirtied.
+type vmEngine struct {
+	cpu  *emu.CPU
+	snap *emu.Snapshot
+}
+
+// newVMEngine loads the image and takes the baseline snapshot. A load
+// failure returns nil: the caller falls back to clone+reload, which
+// reports the failure per mutant exactly as before.
+func newVMEngine(base *image.Image, cfg Config) *vmEngine {
+	cpu, err := emu.LoadImageWith(base, emu.LoadConfig{
+		StackSize: cfg.StackSize,
+		MemBudget: cfg.MemBudget,
+	})
+	if err != nil {
+		return nil
 	}
-	rep.finish(rows)
-	recordOutcomes(cfg.Obs, rep, classes)
-	return rep, nil
+	return &vmEngine{cpu: cpu, snap: cpu.Snapshot()}
 }
 
 // recordOutcomes mirrors a finished campaign's classification tallies
@@ -191,9 +243,13 @@ func recordOutcomes(reg *obs.Registry, rep *Report, classes []Class) {
 
 // runOne executes and classifies a single mutant. It never panics:
 // any harness panic is recovered, counted, and classified as a crash.
+// Non-serial mutants run on the worker's vmEngine when one is
+// available (restore dirty pages, poke the mutation, run); KindSerial
+// mutants always exercise the loader, and a nil engine falls back to
+// clone+reload.
 func runOne(ctx context.Context, base *image.Image, stream []byte,
 	guard map[uint32]bool, m Mutant, clean attack.RunResult,
-	cfg Config, panics *uint64) (cls Class) {
+	cfg Config, eng *vmEngine, panics *uint64) (cls Class) {
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddUint64(panics, 1)
@@ -201,14 +257,37 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 		}
 	}()
 
+	runCfg := attack.RunConfig{
+		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
+		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
+		Obs: cfg.Obs,
+	}
+
 	var img *image.Image
-	if m.Kind == KindSerial {
+	switch {
+	case m.Kind == KindSerial:
 		loaded, err := image.ReadFrom(bytes.NewReader(m.corruptSerial(stream)))
 		if err != nil {
 			return ClassLoaderReject
 		}
 		img = loaded
-	} else {
+	case eng != nil:
+		st := eng.cpu.Restore(eng.snap)
+		if reg := cfg.Obs; reg != nil {
+			reg.Counter("emu.restores").Inc()
+			reg.Histogram("emu.dirty_pages").Record(uint64(st.DirtyPages))
+		}
+		if err := m.applyVM(base, eng.cpu); err != nil {
+			// Unpatchable site: same rejection the clone path's
+			// image.WriteAt would produce, before execution.
+			return ClassLoaderReject
+		}
+		mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+		runCfg.CPU = eng.cpu
+		res := attack.RunWith(mctx, base, runCfg)
+		return classify(m, res, clean, guard)
+	default:
 		img = base.Clone()
 		if err := m.apply(img); err != nil {
 			// Unpatchable site (enumeration raced initialized-data
@@ -219,11 +298,7 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 
 	mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
-	res := attack.RunWith(mctx, img, attack.RunConfig{
-		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
-		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs,
-	})
+	res := attack.RunWith(mctx, img, runCfg)
 	return classify(m, res, clean, guard)
 }
 

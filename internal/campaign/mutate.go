@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"parallax/internal/core"
+	"parallax/internal/emu"
 	"parallax/internal/image"
 )
 
@@ -100,6 +101,52 @@ func (m Mutant) apply(img *image.Image) error {
 		return img.WriteAt(m.Addr, b)
 	}
 	return fmt.Errorf("campaign: cannot apply %v in memory", m.Kind)
+}
+
+// applyVM patches one mutant into a live emulator that has been
+// rewound to the base image, mirroring apply()'s semantics exactly.
+// Patch bytes are validated against the base image's initialized-data
+// bounds first — the emulator maps sections at their full Size
+// (including BSS), so without the check a mutant the clone path's
+// WriteAt rejects would silently succeed here and the two paths would
+// classify it differently.
+func (m Mutant) applyVM(base *image.Image, c *emu.CPU) error {
+	var patch []byte
+	switch m.Kind {
+	case KindBitFlip:
+		raw, err := base.ReadAt(m.Addr, 1)
+		if err != nil {
+			return err
+		}
+		patch = []byte{raw[0] ^ (1 << m.Bit)}
+	case KindByteSet:
+		patch = []byte{0xCC}
+	case KindNopSweep:
+		patch = make([]byte, m.Len)
+		for i := range patch {
+			patch[i] = 0x90
+		}
+	default:
+		return fmt.Errorf("campaign: cannot apply %v in memory", m.Kind)
+	}
+	if err := writableAt(base, m.Addr, uint32(len(patch))); err != nil {
+		return err
+	}
+	return c.Patch(m.Addr, patch)
+}
+
+// writableAt reproduces image.WriteAt's bounds check without writing:
+// the span must fall within a single section's initialized data.
+func writableAt(img *image.Image, addr, n uint32) error {
+	s := img.SectionAt(addr)
+	if s == nil {
+		return fmt.Errorf("campaign: patch at %#x outside any section", addr)
+	}
+	if off := addr - s.Addr; off+n > uint32(len(s.Data)) {
+		return fmt.Errorf("campaign: patch [%#x,%#x) past initialized data of %s",
+			addr, addr+n, s.Name)
+	}
+	return nil
 }
 
 // corruptSerial returns a corrupted copy of the serialized stream.

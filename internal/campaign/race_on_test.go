@@ -1,0 +1,9 @@
+//go:build race
+
+package campaign
+
+// raceEnabled gates the heavyweight corpus differential tests out of
+// the race pass: under the detector the emulator loop is ~10x slower,
+// so the race build runs the compact synthetic-target differentials
+// (which exercise the same worker sharing) instead.
+const raceEnabled = true

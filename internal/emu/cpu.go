@@ -153,25 +153,41 @@ func (c *CPU) ClearOverlay() {
 }
 
 // InvalidateCode must be called after out-of-band modification of
-// executable bytes (Memory.Poke into text) so stale decodes are
-// discarded.
+// executable bytes that bypasses the Memory write paths (which bump
+// the code epoch themselves) so stale decodes are discarded.
 func (c *CPU) InvalidateCode() { c.codeVersion++ }
 
-// fetchWindow returns up to 15 instruction bytes at addr as seen by the
-// fetch unit (overlay first, then memory).
-func (c *CPU) fetchWindow(addr uint32) ([]byte, error) {
-	// Permission check on the first byte; the remaining window bytes
-	// stay within the same segment by construction below.
+// maxInstLen is the architectural x86 instruction length limit, and
+// therefore the fetch window size.
+const maxInstLen = 15
+
+// fetchWindow returns up to 15 instruction bytes at addr as seen by
+// the fetch unit (overlay first, then memory). Bytes are stitched
+// across contiguous executable segments, so an instruction straddling
+// a segment boundary decodes from its full encoding. missing is the
+// first address past the stitched bytes — the fault address when the
+// window proves too short to hold the instruction.
+func (c *CPU) fetchWindow(addr uint32) (window []byte, missing uint32, err error) {
+	// Permission check on the first byte classifies the common faults
+	// (unmapped EIP, jump into non-executable data).
 	if _, err := c.Mem.check(addr, 1, AccessFetch, c.EIP); err != nil {
-		return nil, err
+		return nil, addr, err
 	}
-	seg := c.Mem.Segment(addr)
-	off := addr - seg.Addr
-	end := off + 15
-	if end > uint32(len(seg.Data)) {
-		end = uint32(len(seg.Data))
+	window = make([]byte, 0, maxInstLen)
+	a := addr
+	for len(window) < maxInstLen {
+		seg := c.Mem.Segment(a)
+		if seg == nil || seg.Perm&image.PermX == 0 {
+			break
+		}
+		off := a - seg.Addr
+		n := uint32(maxInstLen - len(window))
+		if off+n > uint32(len(seg.Data)) {
+			n = uint32(len(seg.Data)) - off
+		}
+		window = append(window, seg.Data[off:off+n]...)
+		a += n
 	}
-	window := append([]byte(nil), seg.Data[off:end]...)
 	if c.overlay != nil {
 		for i := range window {
 			if v, ok := c.overlay[addr+uint32(i)]; ok {
@@ -179,28 +195,75 @@ func (c *CPU) fetchWindow(addr uint32) ([]byte, error) {
 			}
 		}
 	}
-	return window, nil
+	return window, a, nil
 }
 
 // decode returns the instruction at EIP, consulting the decode cache.
+// The cache is keyed on both the CPU's own code version (overlay state,
+// explicit invalidation) and the memory bus's code epoch, which every
+// store into an executable segment advances — so a program patching
+// its own upcoming instructions executes the new bytes, not a stale
+// decode.
 func (c *CPU) decode() (x86.Inst, error) {
-	if c.cacheVer != c.codeVersion {
+	if want := c.codeVersion + c.Mem.codeEpoch; c.cacheVer != want {
 		c.decodeCache = make(map[uint32]x86.Inst)
-		c.cacheVer = c.codeVersion
+		c.cacheVer = want
 	}
 	if inst, ok := c.decodeCache[c.EIP]; ok {
 		return inst, nil
 	}
-	window, err := c.fetchWindow(c.EIP)
+	window, missing, err := c.fetchWindow(c.EIP)
 	if err != nil {
 		return x86.Inst{}, err
 	}
 	inst, err := x86.Decode(window, c.EIP)
 	if err != nil {
+		if errors.Is(err, x86.ErrTruncated) && len(window) < maxInstLen {
+			// The instruction ran off the end of mapped executable
+			// memory: that is a fetch fault at the first absent byte,
+			// not a decode error in the bytes we do have.
+			_, ferr := c.Mem.check(missing, 1, AccessFetch, c.EIP)
+			if ferr != nil {
+				return x86.Inst{}, ferr
+			}
+		}
 		return x86.Inst{}, &DecodeFault{EIP: c.EIP, Err: err}
 	}
 	c.decodeCache[c.EIP] = inst
 	return inst, nil
+}
+
+// Patch pokes bytes into memory (permissions ignored, like Mem.Poke)
+// but evicts only the cached decodes whose windows can overlap the
+// patched range, instead of letting the code-epoch bump flush the
+// whole cache on the next decode. A warm campaign worker patching one
+// mutation site per run keeps every other decode it has accumulated.
+func (c *CPU) Patch(addr uint32, b []byte) error {
+	inSync := c.cacheVer == c.codeVersion+c.Mem.codeEpoch
+	if err := c.Mem.Poke(addr, b); err != nil {
+		return err
+	}
+	if !inSync {
+		// A full flush is already pending; nothing to preserve.
+		return nil
+	}
+	c.evictDecodes(addr, uint32(len(b)))
+	c.cacheVer = c.codeVersion + c.Mem.codeEpoch
+	return nil
+}
+
+// evictDecodes drops cached decodes that may include any byte of
+// [addr, addr+n): an x86 instruction is at most maxInstLen bytes, so
+// entries starting up to maxInstLen-1 bytes before the range can
+// straddle into it.
+func (c *CPU) evictDecodes(addr, n uint32) {
+	lo := uint32(0)
+	if addr >= maxInstLen-1 {
+		lo = addr - (maxInstLen - 1)
+	}
+	for a := lo; a < addr+n; a++ {
+		delete(c.decodeCache, a)
+	}
 }
 
 // Step executes one instruction.

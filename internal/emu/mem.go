@@ -52,16 +52,36 @@ func (e *FaultError) Error() string {
 	return fmt.Sprintf("emu: %s fault at %#x (eip=%#x): %s", e.Access, e.Addr, e.EIP, e.Reason)
 }
 
+// PageSize is the dirty-tracking granularity of Snapshot/Restore:
+// writes are recorded per 4 KiB page, and Restore copies back only the
+// pages a run touched.
+const PageSize = 4096
+
 // Segment is one mapped address range.
 type Segment struct {
 	Name string
 	Addr uint32
 	Data []byte
 	Perm image.Perm
+
+	// dirty is the per-page write bitmap (one bit per PageSize page),
+	// armed by CPU.Snapshot and consumed by CPU.Restore. Nil when no
+	// snapshot is active, so untracked stores cost one nil check.
+	dirty []uint64
 }
 
 // End returns the first address past the segment.
 func (s *Segment) End() uint32 { return s.Addr + uint32(len(s.Data)) }
+
+// markDirty records a write to [off, off+n) in the page bitmap.
+func (s *Segment) markDirty(off, n uint32) {
+	if s.dirty == nil || n == 0 {
+		return
+	}
+	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
+		s.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
 
 // MemBudgetError reports a Map that would take the address space past
 // its configured byte budget.
@@ -87,7 +107,18 @@ type Memory struct {
 	// it makes Map fail with a *MemBudgetError.
 	Budget uint64
 	mapped uint64
+
+	// codeEpoch counts modifications of executable bytes: any store or
+	// Poke that lands in a PermX segment bumps it, and the CPU's decode
+	// cache keys on it. This is what keeps the cache coherent under
+	// self-modifying writes that go through the ordinary store path —
+	// no explicit InvalidateCode call required.
+	codeEpoch uint64
 }
+
+// CodeEpoch returns the executable-byte modification counter. Decode
+// caches built against one epoch must be discarded when it advances.
+func (m *Memory) CodeEpoch() uint64 { return m.codeEpoch }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory { return &Memory{} }
@@ -167,6 +198,16 @@ func (m *Memory) check(addr uint32, n uint32, access Access, eip uint32) ([]byte
 			Reason: fmt.Sprintf("segment %s is %s", s.Name, s.Perm)}
 	}
 	off := addr - s.Addr
+	if access == AccessWrite {
+		// The caller is about to mutate the returned slice: record the
+		// touched pages for Restore and, when the segment is executable
+		// (a self-modifying program writing its own code), retire every
+		// decode cached from the old bytes.
+		s.markDirty(off, n)
+		if s.Perm&image.PermX != 0 {
+			m.codeEpoch++
+		}
+	}
 	return s.Data[off : off+n], nil
 }
 
@@ -240,13 +281,24 @@ func (m *Memory) Store8(addr uint32, v uint8, eip uint32) error {
 // modification: a debugger poking text, or an attacker patching the
 // binary on disk. Returns an error only for unmapped addresses.
 func (m *Memory) Poke(addr uint32, b []byte) error {
+	touchedCode := false
+	// The epoch must advance even when a later byte faults: the bytes
+	// already written stay written.
+	defer func() {
+		if touchedCode {
+			m.codeEpoch++
+		}
+	}()
 	for i, v := range b {
 		a := addr + uint32(i)
 		s := m.Segment(a)
 		if s == nil {
 			return &FaultError{Addr: a, Access: AccessWrite, Reason: "unmapped (poke)"}
 		}
-		s.Data[a-s.Addr] = v
+		off := a - s.Addr
+		s.Data[off] = v
+		s.markDirty(off, 1)
+		touchedCode = touchedCode || s.Perm&image.PermX != 0
 	}
 	return nil
 }

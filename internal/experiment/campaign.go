@@ -3,6 +3,8 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"reflect"
+	"time"
 
 	"parallax/internal/campaign"
 	"parallax/internal/core"
@@ -43,6 +45,77 @@ func Campaign(ctx context.Context, progs []string, cfg campaign.Config) ([]Campa
 			return nil, fmt.Errorf("campaign experiment: %s: %w", name, err)
 		}
 		out = append(out, CampaignResult{Program: name, Report: rep})
+	}
+	return out, nil
+}
+
+// CampaignEngineRow compares the campaign's two execution engines on
+// one corpus program: clone+reload per mutant versus one emulator per
+// worker restored from a snapshot. Detection matrices must agree —
+// MatrixEqual is the differential check, Speedup the payoff.
+type CampaignEngineRow struct {
+	Program       string
+	Mutants       int
+	ReloadSeconds float64
+	SnapSeconds   float64
+	Speedup       float64 // ReloadSeconds / SnapSeconds
+	MatrixEqual   bool
+	Report        *campaign.Report // snapshot-path report
+}
+
+// CampaignEngines runs the same enumerated campaign through both
+// execution paths and measures wall-clock time per path. An empty
+// program list means wget. Wall-clock numbers vary by host; the
+// matrix equality must not.
+func CampaignEngines(ctx context.Context, progs []string, cfg campaign.Config) ([]CampaignEngineRow, error) {
+	if len(progs) == 0 {
+		progs = []string{"wget"}
+	}
+	var out []CampaignEngineRow
+	for _, name := range progs {
+		p, err := corpus.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := core.Protect(p.Build(), core.Options{
+			VerifyFuncs: []string{p.VerifyFunc},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaign-engine experiment: protecting %s: %w", name, err)
+		}
+		pcfg := cfg
+		pcfg.Stdin = p.Stdin
+
+		reloadCfg := pcfg
+		reloadCfg.Reload = true
+		start := time.Now()
+		repReload, err := campaign.Run(ctx, prot, reloadCfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign-engine experiment: %s (reload): %w", name, err)
+		}
+		reloadSec := time.Since(start).Seconds()
+
+		snapCfg := pcfg
+		snapCfg.Reload = false
+		start = time.Now()
+		repSnap, err := campaign.Run(ctx, prot, snapCfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign-engine experiment: %s (snapshot): %w", name, err)
+		}
+		snapSec := time.Since(start).Seconds()
+
+		row := CampaignEngineRow{
+			Program:       name,
+			Mutants:       repSnap.Mutants,
+			ReloadSeconds: reloadSec,
+			SnapSeconds:   snapSec,
+			MatrixEqual:   reflect.DeepEqual(repReload, repSnap),
+			Report:        repSnap,
+		}
+		if snapSec > 0 {
+			row.Speedup = reloadSec / snapSec
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -355,6 +355,9 @@ func (f *Farm) run(j *Job) {
 		maxAttempts = 1
 	}
 	start := time.Now()
+	// Per-job jittered delay stream: jobs retrying off the same failure
+	// wave each follow their own schedule.
+	bo := f.retry.stream(j.Name)
 	var prot *core.Protected
 	var err error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
@@ -365,7 +368,7 @@ func (f *Farm) run(j *Job) {
 		}
 		atomic.AddUint64(&f.ct.retries, 1)
 		f.om.retries.Inc()
-		if serr := f.sleep(j.ctx, f.retry.backoff(attempt+1)); serr != nil {
+		if serr := f.sleep(j.ctx, bo.next()); serr != nil {
 			err = fmt.Errorf("farm: job %q cancelled during retry backoff: %w", j.Name, serr)
 			break
 		}

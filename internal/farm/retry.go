@@ -13,17 +13,24 @@ import (
 // breaker is open.
 var ErrCircuitOpen = errors.New("farm: circuit open")
 
-// RetryPolicy configures per-job retry with capped exponential backoff.
+// RetryPolicy configures per-job retry with capped, jittered backoff.
 // The zero value disables retries.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries per job, including the
 	// first; values below 2 mean a single attempt.
 	MaxAttempts int
-	// BaseDelay is the backoff before the second attempt; it doubles on
-	// each subsequent one. Zero means 10ms when retries are enabled.
+	// BaseDelay is the backoff floor before the second attempt. Zero
+	// means 10ms when retries are enabled.
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff. Zero means 1s.
 	MaxDelay time.Duration
+	// JitterSeed seeds the deterministic decorrelated jitter. Each job
+	// derives its own delay stream from the seed and its name, so jobs
+	// that fail together (a breaker reopening, a shared dependency
+	// recovering) retry spread across [BaseDelay, MaxDelay] instead of
+	// hammering back on the same tick. The same seed reproduces the
+	// same delays; zero is a valid seed.
+	JitterSeed uint64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -38,8 +45,10 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff returns the delay before attempt n (the first retry is n=2):
-// BaseDelay doubled per retry, capped at MaxDelay.
+// backoff returns the jitter-free delay curve before attempt n (the
+// first retry is n=2): BaseDelay doubled per retry, capped at MaxDelay.
+// Production retries draw from stream instead — this is the reference
+// envelope the jittered delays are judged against in tests.
 func (p RetryPolicy) backoff(n int) time.Duration {
 	d := p.BaseDelay
 	for i := 2; i < n; i++ {
@@ -51,6 +60,51 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 	if d > p.MaxDelay {
 		d = p.MaxDelay
 	}
+	return d
+}
+
+// backoffStream is one job's retry-delay sequence with decorrelated
+// jitter: each delay is drawn uniformly from [BaseDelay, 3×previous]
+// and capped at MaxDelay. Unlike "exponential + random fraction", the
+// decorrelated form forgets the shared schedule entirely after the
+// first draw, so jobs that failed on the same tick do not converge
+// back onto one.
+type backoffStream struct {
+	p    RetryPolicy
+	rng  uint64
+	prev time.Duration
+}
+
+// stream returns the delay stream for one job. Streams are
+// deterministic — the same policy, seed and name yield the same
+// delays — while different names decorrelate from each other.
+func (p RetryPolicy) stream(name string) *backoffStream {
+	// FNV-1a fold of the name into the seed; splitmix64 in next() does
+	// the real mixing.
+	h := p.JitterSeed ^ 0xcbf29ce484222325
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
+	}
+	return &backoffStream{p: p, rng: h, prev: p.BaseDelay}
+}
+
+// next returns the delay before the stream's next retry.
+func (s *backoffStream) next() time.Duration {
+	s.rng += 0x9e3779b97f4a7c15 // splitmix64
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+
+	lo, hi := s.p.BaseDelay, 3*s.prev
+	if hi <= lo {
+		hi = lo + 1
+	}
+	d := lo + time.Duration(z%uint64(hi-lo))
+	if d > s.p.MaxDelay {
+		d = s.p.MaxDelay
+	}
+	s.prev = d
 	return d
 }
 

@@ -85,14 +85,14 @@ func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
 	if res.Attempts != 3 {
 		t.Errorf("Attempts = %d, want 3", res.Attempts)
 	}
-	// Backoff doubles from BaseDelay and is capped at MaxDelay.
-	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
-	if len(seam.backoffs) != len(want) {
-		t.Fatalf("backoffs = %v, want %v", seam.backoffs, want)
+	// Two failures → two jittered backoffs, each within the policy's
+	// [BaseDelay, MaxDelay] envelope.
+	if len(seam.backoffs) != 2 {
+		t.Fatalf("backoffs = %v, want 2 delays", seam.backoffs)
 	}
-	for i := range want {
-		if seam.backoffs[i] != want[i] {
-			t.Errorf("backoff[%d] = %v, want %v", i, seam.backoffs[i], want[i])
+	for i, d := range seam.backoffs {
+		if d < 10*time.Millisecond || d > 25*time.Millisecond {
+			t.Errorf("backoff[%d] = %v, want within [10ms, 25ms]", i, d)
 		}
 	}
 	if got := f.Stats().Retries; got != 2 {
@@ -109,6 +109,66 @@ func TestRetryBackoffCap(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("backoff %d = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestRetryJitterDesync is the thundering-herd regression: jobs whose
+// failures are synchronized (a shared breaker reopening) must not all
+// retry on the same tick. Every per-job delay stream is deterministic,
+// but different jobs draw different delays.
+func TestRetryJitterDesync(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: time.Second, JitterSeed: 42}.withDefaults()
+
+	// 16 concurrent jobs, all failing at t=0: collect each job's first
+	// retry delay and demand they spread over multiple distinct ticks.
+	firsts := make(map[time.Duration]int)
+	for i := 0; i < 16; i++ {
+		s := p.stream(fmt.Sprintf("job-%d", i))
+		firsts[s.next()]++
+	}
+	if len(firsts) < 8 {
+		t.Errorf("16 synchronized jobs landed on only %d distinct ticks: %v", len(firsts), firsts)
+	}
+	for d, n := range firsts {
+		if d < p.BaseDelay || d > p.MaxDelay {
+			t.Errorf("delay %v (×%d) outside [%v, %v]", d, n, p.BaseDelay, p.MaxDelay)
+		}
+	}
+
+	// Within one job the whole sequence stays inside the envelope.
+	s := p.stream("job-0")
+	for i := 0; i < 8; i++ {
+		if d := s.next(); d < p.BaseDelay || d > p.MaxDelay {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, p.BaseDelay, p.MaxDelay)
+		}
+	}
+}
+
+// TestRetryJitterDeterministic: the same seed, policy and job name
+// reproduce the same delay sequence — the property the campaign and
+// farm tests rely on for reproducible schedules.
+func TestRetryJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 5 * time.Millisecond,
+		MaxDelay: 500 * time.Millisecond, JitterSeed: 7}.withDefaults()
+	a, b := p.stream("job"), p.stream("job")
+	for i := 0; i < 6; i++ {
+		if da, db := a.next(), b.next(); da != db {
+			t.Fatalf("delay %d differs between identical streams: %v vs %v", i, da, db)
+		}
+	}
+	// A different seed shifts the schedule.
+	q := p
+	q.JitterSeed = 8
+	c, d := p.stream("job"), q.stream("job")
+	same := true
+	for i := 0; i < 6; i++ {
+		if c.next() != d.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("changing JitterSeed left the delay sequence unchanged")
 	}
 }
 
