@@ -1,0 +1,62 @@
+// Package difftest is the differential-execution oracle: a reference
+// x86-32 interpreter written straight from the SDM pseudocode, a
+// lockstep runner that executes one program on both that interpreter
+// and the production internal/emu engine, a gadget-biased program
+// generator, and a divergence minimizer.
+//
+// The production emulator earns its speed with a decode cache,
+// snapshot/restore machinery, and branch-free flag formulas — exactly
+// the kinds of cleverness where an EFLAGS transcription error hides
+// for years. The reference interpreter deliberately has none of that:
+// shifts and rotates move one bit per loop iteration, carry and
+// overflow come from widened arithmetic and sign comparisons, and
+// every instruction is re-decoded from memory bytes on every step.
+// The two implementations share only what is not under test: the
+// instruction decoder (internal/x86), the error vocabulary, the image
+// loader, and the kernel model (emu.OS via the SysCPU interface), so
+// any divergence the lockstep runner reports is a disagreement about
+// instruction *semantics*, which is precisely the property Parallax's
+// gadget verification depends on (PAPER.md §IV: a single wrong flag
+// bit silently reclassifies tamper-campaign outcomes).
+//
+// # Defined conventions for architecturally-undefined behaviour
+//
+// The Intel SDM leaves several flag results undefined. Lockstep
+// comparison needs every bit deterministic, so both engines implement
+// the following shared conventions (the reference interpreter mirrors
+// them on purpose; they are conventions, not SDM facts):
+//
+//   - Shift/rotate counts are masked to 5 bits first; a masked count
+//     of zero changes neither the destination nor any flag.
+//   - OF is computed for every nonzero shift/rotate count using the
+//     SDM's count-1 rule (SDM: undefined for counts greater than 1).
+//   - Shifts (SHL/SHR/SAR) leave AF unchanged; rotates touch only
+//     CF/OF (SDM: AF undefined after shifts).
+//   - SHL/SHR with count > operand width clear CF; SAR fills CF with
+//     the sign bit (SDM: undefined).
+//   - One-operand MUL/IMUL set SF/ZF/PF from the full 32-bit EAX
+//     after the write-back; two/three-operand IMUL set them from the
+//     truncated product (SDM: all undefined). AF is left unchanged.
+//   - DIV/IDIV leave all flags unchanged (SDM: undefined).
+//   - Logic ops clear AF.
+//
+// # Harness conventions both engines follow
+//
+//   - The exit sentinel (emu.ExitSentinel) is checked only after RET,
+//     RETF, CALL and indirect/direct JMP — a conditional jump landing
+//     on it faults instead of exiting.
+//   - A whole REP-prefixed string operation retires as one
+//     instruction, bounded by the same iteration cap.
+//   - PUSH decrements ESP before the store, so ESP stays decremented
+//     when the store faults.
+//   - Syscalls observe the post-instruction EIP.
+//   - An instruction running off the end of mapped executable memory
+//     classifies as a fetch fault at the first missing byte, not a
+//     decode fault; the 15-byte fetch window is stitched across
+//     contiguous executable segments.
+//
+// Known shared-decoder narrowings the oracle cannot see (both engines
+// inherit them from internal/x86, so they never diverge): 0x66-prefixed
+// PUSH/POP still transfer 32 bits, MOVZX/MOVSX destinations are always
+// 32-bit registers, and 0x66 on branches is ignored.
+package difftest

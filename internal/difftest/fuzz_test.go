@@ -1,0 +1,48 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// FuzzLockstep feeds raw byte streams to both engines in lockstep.
+// Any divergence — register, flag, store, fault classification — is a
+// crash. The seed corpus in testdata/fuzz/FuzzLockstep pins the byte
+// patterns behind historical emulator bugs (RCR overflow flag,
+// 0x66-prefixed one-operand MUL/DIV forms, CBW/CWD, REP SCAS with
+// DF=1) so every fuzz run re-checks them even at -fuzztime 0.
+func FuzzLockstep(f *testing.F) {
+	// stc; rcr eax,1; ret — the RCR overflow-flag bug.
+	f.Add([]byte{0xF9, 0xD1, 0xD8, 0xC3}, uint8(0))
+	// mov ax,3; mov cx,0x100; 66 mul cx; 66 div cx; ret — the 16-bit
+	// one-operand widths that fell into the 32-bit path.
+	f.Add([]byte{0x66, 0xB8, 0x03, 0x00, 0x66, 0xB9, 0x00, 0x01,
+		0x66, 0xF7, 0xE1, 0x66, 0xF7, 0xF1, 0xC3}, uint8(0))
+	// 66 98 (cbw); 66 99 (cwd); ret — decoded as 32-bit CWDE/CDQ
+	// before the fix.
+	f.Add([]byte{0xB8, 0x80, 0x00, 0x00, 0x00, 0x66, 0x98, 0x66, 0x99, 0xC3}, uint8(0))
+	// std; mov ecx,4; repne scasb; cld; ret — backwards string scan.
+	f.Add([]byte{0xFD, 0xB9, 0x04, 0x00, 0x00, 0x00, 0xF2, 0xAE, 0xFC, 0xC3}, uint8(0))
+	// 66 IMUL r,r/m,imm16 sign-extension path.
+	f.Add([]byte{0x66, 0xB8, 0x00, 0x40, 0x66, 0x6B, 0xC0, 0x02, 0xC3}, uint8(0))
+	// Unaligned gadget entry: bytes that re-decode differently when
+	// entered mid-instruction.
+	f.Add([]byte{0xB8, 0xF9, 0xD1, 0xD8, 0xC3, 0x90, 0xC3}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte, entry uint8) {
+		if len(raw) == 0 || len(raw) > genPatchPad {
+			t.Skip()
+		}
+		p := &Program{
+			Name:     "fuzz",
+			Raw:      raw,
+			EntryOff: uint32(entry) % uint32(len(raw)),
+		}
+		res, err := RunProgram(p, Options{MaxInst: 1 << 14})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if res.Div != nil {
+			t.Fatalf("divergence on % x entry+%d:\n%s", raw, p.EntryOff, res.Div)
+		}
+	})
+}

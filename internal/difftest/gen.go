@@ -1,0 +1,303 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// Generated-program layout. The text section is padded so a reserved
+// patch pad exists past the generated code for self-modifying-store
+// sequences.
+const (
+	genTextBase = 0x08048000
+	genDataBase = 0x08100000
+	genDataSize = 0x2000
+	genPatchPad = 0x500 // offset of the self-modification target in .text
+	genTextSize = 0x600
+)
+
+// ProgInst is one generated instruction. JccSkip > 0 marks a
+// conditional branch over the following JccSkip instructions (targets
+// are re-resolved after minimization removes instructions, clamping
+// to the program end).
+type ProgInst struct {
+	Inst    x86.Inst
+	JccSkip int
+}
+
+// Program is one generated lockstep input: either a structured
+// instruction list (minimizable instruction-by-instruction) or raw
+// bytes (gadget-style streams, possibly entered mid-instruction).
+type Program struct {
+	Name     string
+	Insts    []ProgInst
+	Raw      []byte
+	EntryOff uint32 // entry offset into .text
+	Data     []byte // initial .data contents
+	Stdin    []byte
+}
+
+// Build assembles the program into a loadable image.
+func (p *Program) Build() (*image.Image, error) {
+	text := p.Raw
+	if p.Insts != nil {
+		b := x86.NewBuilder(genTextBase)
+		for i, pi := range p.Insts {
+			b.Label(label(i))
+			if pi.JccSkip > 0 {
+				tgt := i + 1 + pi.JccSkip
+				if tgt > len(p.Insts) {
+					tgt = len(p.Insts)
+				}
+				b.JccL(pi.Inst.Cond, label(tgt))
+			} else {
+				b.I(pi.Inst)
+			}
+		}
+		b.Label(label(len(p.Insts)))
+		var err error
+		text, err = b.Finish()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(text) > genPatchPad {
+		return nil, fmt.Errorf("difftest: program %s text %d bytes overruns the patch pad",
+			p.Name, len(text))
+	}
+	padded := make([]byte, genTextSize)
+	for i := range padded {
+		padded[i] = 0x90 // nop
+	}
+	copy(padded, text)
+	return &image.Image{
+		Entry: genTextBase + p.EntryOff,
+		Sections: []*image.Section{
+			{Name: ".text", Addr: genTextBase, Data: padded,
+				Size: genTextSize, Perm: image.PermR | image.PermX},
+			{Name: ".data", Addr: genDataBase, Data: p.Data,
+				Size: genDataSize, Perm: image.PermR | image.PermW},
+		},
+	}, nil
+}
+
+func label(i int) string { return fmt.Sprintf("i%d", i) }
+
+// Generator produces a deterministic stream of gadget-biased programs
+// from a seed: ret-terminated, flag-sensitive, with unaligned-decode
+// and raw-byte variants — the byte streams Parallax's gadget chains
+// actually execute.
+type Generator struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewGenerator returns a generator seeded for reproducibility.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next produces the next program.
+func (g *Generator) Next() *Program {
+	g.n++
+	name := fmt.Sprintf("gen-%d", g.n)
+	data := make([]byte, genDataSize)
+	g.rng.Read(data)
+	roll := g.rng.Intn(10)
+	switch {
+	case roll == 0: // raw byte soup: mostly immediate decode faults
+		raw := make([]byte, 16+g.rng.Intn(48))
+		g.rng.Read(raw)
+		return &Program{Name: name + "-raw", Raw: raw, Data: data}
+	case roll <= 2: // structured code entered mid-instruction
+		p := &Program{Name: name + "-unaligned", Insts: g.body(), Data: data}
+		img, err := p.Build()
+		if err != nil {
+			// Fall back to the aligned form; the generator menu only
+			// emits encodable instructions so this is unreachable.
+			return p
+		}
+		text := img.Sections[0].Data[:genPatchPad]
+		off := uint32(1 + g.rng.Intn(3))
+		if int(off) >= len(text) {
+			off = 1
+		}
+		return &Program{Name: p.Name, Raw: text, EntryOff: off, Data: data}
+	default:
+		return &Program{Name: name, Insts: g.body(), Data: data}
+	}
+}
+
+var genWidths = []uint8{8, 16, 32}
+
+// reg8 maps a register index to a valid 8-bit register operand.
+var gen8Regs = []x86.Reg{x86.AL, x86.CL, x86.DL, x86.BL, x86.AH, x86.CH, x86.DH, x86.BH}
+
+// dataRegs excludes ESP/EBP so the stack and data anchor stay intact.
+var genDataRegs = []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBX, x86.ESI, x86.EDI}
+
+func (g *Generator) reg() x86.Reg { return genDataRegs[g.rng.Intn(len(genDataRegs))] }
+
+func (g *Generator) regW(w uint8) x86.Operand {
+	if w == 8 {
+		return x86.RegOp(gen8Regs[g.rng.Intn(len(gen8Regs))])
+	}
+	return x86.RegOp(g.reg())
+}
+
+func (g *Generator) width() uint8 { return genWidths[g.rng.Intn(len(genWidths))] }
+
+// mem returns a memory operand anchored at EBP (kept pointing into
+// .data by the prologue), with a displacement that keeps any width
+// in-bounds.
+func (g *Generator) mem() x86.Operand {
+	return x86.MemOp(x86.EBP, int32(g.rng.Intn(0x100))-0x80)
+}
+
+func (g *Generator) imm() int32 {
+	switch g.rng.Intn(4) {
+	case 0:
+		return int32(g.rng.Intn(256)) - 128 // small
+	case 1: // boundary patterns
+		return []int32{0, 1, -1, 0x7F, -0x80, 0x7FFF, -0x8000,
+			0x7FFFFFFF, -0x80000000}[g.rng.Intn(9)]
+	default:
+		return int32(g.rng.Uint32())
+	}
+}
+
+// body emits a prologue anchoring pointers and seeding registers,
+// then a flag-heavy random body, then a balanced-stack RET epilogue.
+func (g *Generator) body() []ProgInst {
+	var out []ProgInst
+	emit := func(in x86.Inst) { out = append(out, ProgInst{Inst: in}) }
+	mov := func(r x86.Reg, v int32) {
+		emit(x86.Inst{Op: x86.MOV, W: 32, Dst: x86.RegOp(r), Src: x86.ImmOp(v)})
+	}
+
+	mov(x86.EBP, genDataBase+0x1000)
+	mov(x86.ESI, genDataBase+0x800)
+	mov(x86.EDI, genDataBase+0x900)
+	for _, r := range []x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX} {
+		mov(r, g.imm())
+	}
+
+	depth := 0 // pushes minus pops, kept balanced for the final RET
+	n := 5 + g.rng.Intn(36)
+	alu := []x86.Op{x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.CMP,
+		x86.AND, x86.OR, x86.XOR, x86.TEST}
+	shifts := []x86.Op{x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR,
+		x86.RCL, x86.RCR}
+	for i := 0; i < n; i++ {
+		w := g.width()
+		switch g.rng.Intn(20) {
+		case 0, 1, 2, 3: // ALU reg,reg / reg,imm
+			op := alu[g.rng.Intn(len(alu))]
+			dst := g.regW(w)
+			if g.rng.Intn(2) == 0 {
+				emit(x86.Inst{Op: op, W: w, Dst: dst, Src: g.regW(w)})
+			} else {
+				emit(x86.Inst{Op: op, W: w, Dst: dst, Src: x86.ImmOp(g.imm())})
+			}
+		case 4, 5, 6: // shifts and rotates, imm or CL count
+			op := shifts[g.rng.Intn(len(shifts))]
+			src := x86.ImmOp(int32(g.rng.Intn(40)))
+			if g.rng.Intn(3) == 0 {
+				src = x86.RegOp(x86.CL)
+			}
+			emit(x86.Inst{Op: op, W: w, Dst: g.regW(w), Src: src})
+		case 7: // one-operand mul/div family
+			op := []x86.Op{x86.MUL, x86.IMUL, x86.DIV, x86.IDIV}[g.rng.Intn(4)]
+			emit(x86.Inst{Op: op, W: w, Dst: g.regW(w)})
+		case 8: // two/three-operand imul (32-bit dest per decoder)
+			if g.rng.Intn(2) == 0 {
+				emit(x86.Inst{Op: x86.IMUL, W: 32, Dst: x86.RegOp(g.reg()),
+					Src: x86.RegOp(g.reg())})
+			} else {
+				emit(x86.Inst{Op: x86.IMUL, W: 32, Dst: x86.RegOp(g.reg()),
+					Src: x86.RegOp(g.reg()), HasImm: true, Imm: g.imm()})
+			}
+		case 9: // inc/dec/neg/not
+			op := []x86.Op{x86.INC, x86.DEC, x86.NEG, x86.NOT}[g.rng.Intn(4)]
+			emit(x86.Inst{Op: op, W: w, Dst: g.regW(w)})
+		case 10: // memory traffic through the EBP anchor
+			if g.rng.Intn(2) == 0 {
+				emit(x86.Inst{Op: x86.MOV, W: w, Dst: g.mem(), Src: g.regW(w)})
+			} else {
+				emit(x86.Inst{Op: x86.MOV, W: w, Dst: g.regW(w), Src: g.mem()})
+			}
+		case 11: // widening moves
+			op := []x86.Op{x86.MOVZX, x86.MOVSX}[g.rng.Intn(2)]
+			sw := []uint8{8, 16}[g.rng.Intn(2)]
+			emit(x86.Inst{Op: op, W: sw, Dst: x86.RegOp(g.reg()), Src: g.regW(sw)})
+		case 12: // accumulator conversions
+			emit(x86.Inst{Op: []x86.Op{x86.CWDE, x86.CDQ}[g.rng.Intn(2)],
+				W: []uint8{16, 32}[g.rng.Intn(2)]})
+		case 13: // flag plumbing
+			op := []x86.Op{x86.CLC, x86.STC, x86.CMC, x86.LAHF, x86.SAHF}[g.rng.Intn(5)]
+			emit(x86.Inst{Op: op, W: 32})
+		case 14: // setcc
+			emit(x86.Inst{Op: x86.SETCC, Cond: x86.Cond(g.rng.Intn(16)),
+				W: 8, Dst: x86.RegOp(gen8Regs[g.rng.Intn(4)])})
+		case 15: // forward conditional branch
+			out = append(out, ProgInst{
+				Inst:    x86.Inst{Op: x86.JCC, Cond: x86.Cond(g.rng.Intn(16))},
+				JccSkip: 1 + g.rng.Intn(3),
+			})
+		case 16: // balanced push/pop
+			if depth > 0 && g.rng.Intn(2) == 0 {
+				emit(x86.Inst{Op: x86.POP, W: 32, Dst: x86.RegOp(g.reg())})
+				depth--
+			} else {
+				emit(x86.Inst{Op: x86.PUSH, W: 32, Dst: x86.RegOp(g.reg())})
+				depth++
+			}
+		case 17: // string op with small REP and random direction
+			mov(x86.ESI, genDataBase+0x800+int32(g.rng.Intn(0x40)))
+			mov(x86.EDI, genDataBase+0x900+int32(g.rng.Intn(0x40)))
+			mov(x86.ECX, int32(g.rng.Intn(6)))
+			emit(x86.Inst{Op: []x86.Op{x86.CLD, x86.STD}[g.rng.Intn(2)], W: 32})
+			sop := []x86.Op{x86.MOVS, x86.STOS, x86.LODS, x86.SCAS, x86.CMPS}[g.rng.Intn(5)]
+			sw := []uint8{8, 16, 32}[g.rng.Intn(3)]
+			var rep, repne bool
+			if g.rng.Intn(3) != 0 {
+				if (sop == x86.SCAS || sop == x86.CMPS) && g.rng.Intn(2) == 0 {
+					repne = true
+				} else {
+					rep = true
+				}
+			}
+			emit(x86.Inst{Op: sop, W: sw, Rep: rep, RepNE: repne})
+			emit(x86.Inst{Op: x86.CLD, W: 32})
+		case 18: // lea / xchg
+			if g.rng.Intn(2) == 0 {
+				emit(x86.Inst{Op: x86.LEA, W: 32, Dst: x86.RegOp(g.reg()), Src: g.mem()})
+			} else {
+				emit(x86.Inst{Op: x86.XCHG, W: w, Dst: g.regW(w), Src: g.regW(w)})
+			}
+		default: // adc/sbb chains that consume the carry
+			op := []x86.Op{x86.ADC, x86.SBB}[g.rng.Intn(2)]
+			emit(x86.Inst{Op: op, W: w, Dst: g.regW(w), Src: g.regW(w)})
+		}
+	}
+
+	for ; depth > 0; depth-- {
+		emit(x86.Inst{Op: x86.POP, W: 32, Dst: x86.RegOp(g.reg())})
+	}
+
+	// One program in ten exits through freshly self-modified code:
+	// store "inc eax; ret" into the patch pad, then jump to it. This
+	// pins decode-cache coherence against the cache-free reference.
+	if g.rng.Intn(10) == 0 {
+		mov(x86.EBX, genTextBase+genPatchPad)
+		emit(x86.Inst{Op: x86.MOV, W: 32, Dst: x86.MemOp(x86.EBX, 0),
+			Src: x86.ImmOp(int32(int64(0x90C3C0FF) - (1 << 32)))}) // ff c0 c3 90
+		emit(x86.Inst{Op: x86.JMP, W: 32, Dst: x86.RegOp(x86.EBX)})
+	} else {
+		emit(x86.Inst{Op: x86.RET, W: 32})
+	}
+	return out
+}

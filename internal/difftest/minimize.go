@@ -1,0 +1,69 @@
+package difftest
+
+// Minimize shrinks a failing program to a smaller one for which the
+// predicate still holds, using delta-debugging-style chunk removal:
+// try dropping chunks of halving size (len/2 down to 1) until a full
+// pass at chunk size 1 removes nothing. Structured programs shrink by
+// instruction (Build re-resolves branch targets, clamping skips past
+// the end to the final RET label); raw programs shrink by byte.
+//
+// failing must be pure: it returns true iff the candidate still
+// reproduces the divergence (typically "lockstep reports a divergence
+// with the same kind"). Minimize never mutates p; it returns the
+// smallest reproducer found.
+func Minimize(p *Program, failing func(*Program) bool) *Program {
+	if p.Insts != nil {
+		insts := minimizeSlice(p.Insts, func(s []ProgInst) bool {
+			return failing(p.withInsts(s))
+		})
+		return p.withInsts(insts)
+	}
+	raw := minimizeSlice(p.Raw, func(s []byte) bool {
+		return failing(p.withRaw(s))
+	})
+	return p.withRaw(raw)
+}
+
+func (p *Program) withInsts(insts []ProgInst) *Program {
+	q := *p
+	q.Insts = insts
+	return &q
+}
+
+func (p *Program) withRaw(raw []byte) *Program {
+	q := *p
+	q.Raw = raw
+	return &q
+}
+
+// minimizeSlice removes chunks of halving size while the predicate
+// keeps holding for the reduced slice.
+func minimizeSlice[T any](items []T, failing func([]T) bool) []T {
+	cur := append([]T(nil), items...)
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start < len(cur); {
+			cand := make([]T, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && failing(cand) {
+				cur = cand
+				removed = true
+				// Re-test the same start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		}
+	}
+	return cur
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package difftest
+
+// raceEnabled reports whether the race detector is compiled in. The
+// lockstep tests are single-threaded, so the heavyweight batches trim
+// themselves under -race (the detector adds ~10x to pure emulation
+// and finds nothing in sequential code).
+const raceEnabled = true

@@ -1,0 +1,383 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"parallax/internal/emu"
+	"parallax/internal/image"
+	"parallax/internal/x86"
+)
+
+// RefCPU is the reference interpreter: one x86-32 thread whose
+// semantics are transcribed from the SDM pseudocode with no decode
+// cache and no derived flag formulas. It reuses the emu error types
+// and memory bus (the bus is harness, not ISA) but re-decodes every
+// instruction and recomputes every flag bit-by-bit.
+type RefCPU struct {
+	Reg [x86.NumRegs]uint32
+	EIP uint32
+
+	CF, PF, AF, ZF, SF, OF, DF bool
+
+	Mem *emu.Memory
+	OS  *emu.OS
+
+	Icount uint64
+	Exited bool
+	Status int32
+
+	// stores logs every memory store of the current Step (address and
+	// size only); the lockstep runner reads the bytes back from both
+	// engines' memories and compares them.
+	stores []Store
+
+	// legacyRCROF reproduces the seed emulator's RCR overflow-flag bug
+	// (OF = MSB-1 of the result alone). Used by tests to demonstrate
+	// the oracle catches the bug when reverted; never set otherwise.
+	legacyRCROF bool
+}
+
+// Store records one logged memory store.
+type Store struct {
+	Addr uint32
+	Size uint32
+}
+
+// NewRef builds a reference CPU for an image using the same loader as
+// the production engine, so both start from bit-identical state.
+func NewRef(img *image.Image, cfg emu.LoadConfig) (*RefCPU, error) {
+	seed, err := emu.LoadImageWith(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RefCPU{Reg: seed.Reg, EIP: seed.EIP, Mem: seed.Mem}, nil
+}
+
+// Stores returns the store log of the most recent Step.
+func (c *RefCPU) Stores() []Store { return c.stores }
+
+const refMaxInstLen = 15
+
+// fetchWindow mirrors the engine's fetch-unit view: up to 15 bytes
+// stitched across contiguous executable segments, with the first byte
+// classifying unmapped/non-executable faults.
+func (c *RefCPU) fetchWindow(addr uint32) ([]byte, uint32, error) {
+	if err := c.checkFetchByte(addr); err != nil {
+		return nil, addr, err
+	}
+	window := make([]byte, 0, refMaxInstLen)
+	a := addr
+	for len(window) < refMaxInstLen {
+		s := c.Mem.Segment(a)
+		if s == nil || s.Perm&image.PermX == 0 {
+			break
+		}
+		off := a - s.Addr
+		n := uint32(refMaxInstLen - len(window))
+		if off+n > uint32(len(s.Data)) {
+			n = uint32(len(s.Data)) - off
+		}
+		window = append(window, s.Data[off:off+n]...)
+		a += n
+	}
+	return window, a, nil
+}
+
+func (c *RefCPU) checkFetchByte(addr uint32) error {
+	s := c.Mem.Segment(addr)
+	if s == nil {
+		return &emu.FaultError{Addr: addr, EIP: c.EIP, Access: emu.AccessFetch,
+			Reason: "unmapped"}
+	}
+	if s.Perm&image.PermX == 0 {
+		return &emu.FaultError{Addr: addr, EIP: c.EIP, Access: emu.AccessFetch,
+			Reason: fmt.Sprintf("segment %s is %s", s.Name, s.Perm)}
+	}
+	return nil
+}
+
+// decode fetches and decodes the instruction at EIP, fresh every time.
+func (c *RefCPU) decode() (x86.Inst, error) {
+	window, missing, err := c.fetchWindow(c.EIP)
+	if err != nil {
+		return x86.Inst{}, err
+	}
+	inst, err := x86.Decode(window, c.EIP)
+	if err != nil {
+		if errors.Is(err, x86.ErrTruncated) && len(window) < refMaxInstLen {
+			if ferr := c.checkFetchByte(missing); ferr != nil {
+				return x86.Inst{}, ferr
+			}
+		}
+		return x86.Inst{}, &emu.DecodeFault{EIP: c.EIP, Err: err}
+	}
+	return inst, nil
+}
+
+// Step executes one instruction (a REP string operation counts as
+// one).
+func (c *RefCPU) Step() error {
+	if c.Exited {
+		return nil
+	}
+	c.stores = c.stores[:0]
+	inst, err := c.decode()
+	if err != nil {
+		return err
+	}
+	c.Icount++
+	return c.exec(inst)
+}
+
+// ---- register and memory access -------------------------------------
+
+func maskOf(w uint8) uint32 {
+	switch w {
+	case 8:
+		return 0xFF
+	case 16:
+		return 0xFFFF
+	default:
+		return 0xFFFFFFFF
+	}
+}
+
+func msbOf(w uint8) uint32 { return 1 << (w - 1) }
+
+func (c *RefCPU) regRead(r x86.Reg, w uint8) uint32 {
+	switch w {
+	case 8:
+		if r < 4 {
+			return c.Reg[r] & 0xFF
+		}
+		return c.Reg[r-4] >> 8 & 0xFF
+	case 16:
+		return c.Reg[r] & 0xFFFF
+	default:
+		return c.Reg[r]
+	}
+}
+
+func (c *RefCPU) regWrite(r x86.Reg, w uint8, v uint32) {
+	switch w {
+	case 8:
+		if r < 4 {
+			c.Reg[r] = c.Reg[r]&^uint32(0xFF) | v&0xFF
+		} else {
+			c.Reg[r-4] = c.Reg[r-4]&^uint32(0xFF00) | v&0xFF<<8
+		}
+	case 16:
+		c.Reg[r] = c.Reg[r]&^uint32(0xFFFF) | v&0xFFFF
+	default:
+		c.Reg[r] = v
+	}
+}
+
+func (c *RefCPU) ea(o x86.Operand) uint32 {
+	a := uint32(o.Disp)
+	if o.HasBase {
+		a += c.Reg[o.Base]
+	}
+	if o.HasIndex {
+		a += c.Reg[o.Index] * uint32(o.Scale)
+	}
+	return a
+}
+
+func (c *RefCPU) readOp(o x86.Operand, w uint8) (uint32, error) {
+	switch o.Kind {
+	case x86.KReg:
+		return c.regRead(o.Reg, w), nil
+	case x86.KImm:
+		return uint32(o.Imm) & maskOf(w), nil
+	case x86.KMem:
+		addr := c.ea(o)
+		switch w {
+		case 8:
+			v, err := c.Mem.Load8(addr, c.EIP)
+			return uint32(v), err
+		case 16:
+			v, err := c.Mem.Load16(addr, c.EIP)
+			return uint32(v), err
+		default:
+			return c.Mem.Load32(addr, c.EIP)
+		}
+	default:
+		return 0, fmt.Errorf("ref: read of empty operand at eip=%#x", c.EIP)
+	}
+}
+
+func (c *RefCPU) store(addr uint32, w uint8, v uint32) error {
+	c.stores = append(c.stores, Store{Addr: addr, Size: uint32(w / 8)})
+	switch w {
+	case 8:
+		return c.Mem.Store8(addr, uint8(v), c.EIP)
+	case 16:
+		return c.Mem.Store16(addr, uint16(v), c.EIP)
+	default:
+		return c.Mem.Store32(addr, v, c.EIP)
+	}
+}
+
+func (c *RefCPU) writeOp(o x86.Operand, w uint8, v uint32) error {
+	switch o.Kind {
+	case x86.KReg:
+		c.regWrite(o.Reg, w, v)
+		return nil
+	case x86.KMem:
+		return c.store(c.ea(o), w, v)
+	default:
+		return fmt.Errorf("ref: write to non-writable operand at eip=%#x", c.EIP)
+	}
+}
+
+func (c *RefCPU) push32(v uint32) error {
+	c.Reg[x86.ESP] -= 4
+	return c.store(c.Reg[x86.ESP], 32, v)
+}
+
+func (c *RefCPU) pop32() (uint32, error) {
+	v, err := c.Mem.Load32(c.Reg[x86.ESP], c.EIP)
+	if err != nil {
+		return 0, err
+	}
+	c.Reg[x86.ESP] += 4
+	return v, nil
+}
+
+// ---- flags -----------------------------------------------------------
+
+// parityEven counts the set bits of the low byte one at a time.
+func parityEven(v uint32) bool {
+	n := 0
+	for i := uint(0); i < 8; i++ {
+		if v>>i&1 != 0 {
+			n++
+		}
+	}
+	return n%2 == 0
+}
+
+func (c *RefCPU) setSZP(v uint32, w uint8) {
+	v &= maskOf(w)
+	c.ZF = v == 0
+	c.SF = v&msbOf(w) != 0
+	c.PF = parityEven(v)
+}
+
+// addWithCarry follows the SDM: CF from the widened sum, OF from sign
+// agreement, AF from the nibble sum.
+func (c *RefCPU) addWithCarry(a, b, cin uint32, w uint8) uint32 {
+	mask := maskOf(w)
+	a &= mask
+	b &= mask
+	wide := uint64(a) + uint64(b) + uint64(cin)
+	r := uint32(wide) & mask
+	c.CF = wide > uint64(mask)
+	sa, sb, sr := a&msbOf(w) != 0, b&msbOf(w) != 0, r&msbOf(w) != 0
+	c.OF = sa == sb && sr != sa
+	c.AF = a&0xF+b&0xF+cin > 0xF
+	c.setSZP(r, w)
+	return r
+}
+
+// subWithBorrow: CF is the borrow-out, OF from sign disagreement, AF
+// from the nibble borrow.
+func (c *RefCPU) subWithBorrow(a, b, bin uint32, w uint8) uint32 {
+	mask := maskOf(w)
+	a &= mask
+	b &= mask
+	r := (a - b - bin) & mask
+	c.CF = uint64(a) < uint64(b)+uint64(bin)
+	sa, sb, sr := a&msbOf(w) != 0, b&msbOf(w) != 0, r&msbOf(w) != 0
+	c.OF = sa != sb && sr != sa
+	c.AF = a&0xF < b&0xF+bin
+	c.setSZP(r, w)
+	return r
+}
+
+func (c *RefCPU) logicFlags(r uint32, w uint8) {
+	c.CF = false
+	c.OF = false
+	c.AF = false
+	c.setSZP(r, w)
+}
+
+// Flags packs the EFLAGS bits in the architectural layout.
+func (c *RefCPU) Flags() uint32 {
+	f := uint32(1 << 1)
+	for _, b := range []struct {
+		on  bool
+		bit uint32
+	}{
+		{c.CF, 1 << 0}, {c.PF, 1 << 2}, {c.AF, 1 << 4}, {c.ZF, 1 << 6},
+		{c.SF, 1 << 7}, {c.DF, 1 << 10}, {c.OF, 1 << 11},
+	} {
+		if b.on {
+			f |= b.bit
+		}
+	}
+	return f
+}
+
+// SetFlags unpacks an architectural EFLAGS dword.
+func (c *RefCPU) SetFlags(f uint32) {
+	c.CF = f&(1<<0) != 0
+	c.PF = f&(1<<2) != 0
+	c.AF = f&(1<<4) != 0
+	c.ZF = f&(1<<6) != 0
+	c.SF = f&(1<<7) != 0
+	c.DF = f&(1<<10) != 0
+	c.OF = f&(1<<11) != 0
+}
+
+// cond evaluates a condition code, written out per the SDM table.
+func (c *RefCPU) cond(cc x86.Cond) bool {
+	var v bool
+	switch cc &^ 1 {
+	case x86.CondO:
+		v = c.OF
+	case x86.CondB:
+		v = c.CF
+	case x86.CondE:
+		v = c.ZF
+	case x86.CondBE:
+		v = c.CF || c.ZF
+	case x86.CondS:
+		v = c.SF
+	case x86.CondP:
+		v = c.PF
+	case x86.CondL:
+		v = c.SF != c.OF
+	case x86.CondLE:
+		v = c.ZF || c.SF != c.OF
+	}
+	if cc&1 != 0 {
+		v = !v
+	}
+	return v
+}
+
+// ---- syscall surface -------------------------------------------------
+
+// refSys adapts the reference CPU to the shared kernel model.
+type refSys struct{ c *RefCPU }
+
+func (s refSys) GetReg(r x86.Reg) uint32    { return s.c.Reg[r] }
+func (s refSys) SetReg(r x86.Reg, v uint32) { s.c.Reg[r] = v }
+func (s refSys) MemRead(addr, n uint32) ([]byte, error) {
+	return s.c.Mem.Read(addr, n, s.c.EIP)
+}
+func (s refSys) MemStore8(addr uint32, v uint8) error {
+	return s.c.store(addr, 8, uint32(v))
+}
+func (s refSys) MemStore32(addr, v uint32) error {
+	return s.c.store(addr, 32, v)
+}
+func (s refSys) Exit(status int32) {
+	s.c.Exited = true
+	s.c.Status = status
+}
+
+var _ emu.SysCPU = refSys{}

@@ -499,18 +499,29 @@ func (c *CPU) exec(inst x86.Inst) error {
 		c.SF = ah&(1<<7) != 0
 
 	case x86.CDQ:
-		if c.Reg[x86.EAX]&(1<<31) != 0 {
+		if inst.W == 16 { // CWD: DX <- sign of AX
+			if c.Reg[x86.EAX]&(1<<15) != 0 {
+				c.Reg[x86.EDX] = c.Reg[x86.EDX]&^uint32(0xFFFF) | 0xFFFF
+			} else {
+				c.Reg[x86.EDX] &^= 0xFFFF
+			}
+		} else if c.Reg[x86.EAX]&(1<<31) != 0 {
 			c.Reg[x86.EDX] = 0xFFFFFFFF
 		} else {
 			c.Reg[x86.EDX] = 0
 		}
 
 	case x86.CWDE:
-		v := c.Reg[x86.EAX] & 0xFFFF
-		if v&(1<<15) != 0 {
-			v |= 0xFFFF0000
+		if inst.W == 16 { // CBW: AX <- sext AL
+			v := uint32(uint16(int16(int8(c.Reg[x86.EAX]))))
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | v
+		} else {
+			v := c.Reg[x86.EAX] & 0xFFFF
+			if v&(1<<15) != 0 {
+				v |= 0xFFFF0000
+			}
+			c.Reg[x86.EAX] = v
 		}
-		c.Reg[x86.EAX] = v
 
 	case x86.CLC:
 		c.CF = false
@@ -572,6 +583,19 @@ func (c *CPU) execMul(inst x86.Inst) error {
 			}
 			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | r&0xFFFF
 			c.OF = c.CF
+		case 16:
+			// Word form multiplies AX by the operand into DX:AX.
+			var r uint32
+			if inst.Op == x86.MUL {
+				r = (c.Reg[x86.EAX] & 0xFFFF) * v
+				c.CF = r > 0xFFFF
+			} else {
+				r = uint32(int32(int16(c.Reg[x86.EAX])) * int32(int16(v)))
+				c.CF = int32(r) != int32(int16(r))
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | r&0xFFFF
+			c.Reg[x86.EDX] = c.Reg[x86.EDX]&^uint32(0xFFFF) | r>>16
+			c.OF = c.CF
 		default:
 			a := uint64(c.Reg[x86.EAX])
 			if inst.Op == x86.MUL {
@@ -605,12 +629,24 @@ func (c *CPU) execMul(inst x86.Inst) error {
 	} else {
 		b = c.regRead(inst.Dst.Reg, inst.W)
 	}
-	r := int64(int32(a)) * int64(int32(b))
+	r := sext64(a, inst.W) * sext64(b, inst.W)
 	c.regWrite(inst.Dst.Reg, inst.W, uint32(r))
-	c.CF = r != int64(int32(r))
+	c.CF = r != sext64(uint32(r), inst.W)
 	c.OF = c.CF
 	c.setSZP(uint32(r), inst.W)
 	return nil
+}
+
+// sext64 sign-extends the low w bits of v to a signed 64-bit value.
+func sext64(v uint32, w uint8) int64 {
+	switch w {
+	case 8:
+		return int64(int8(v))
+	case 16:
+		return int64(int16(v))
+	default:
+		return int64(int32(v))
+	}
 }
 
 func (c *CPU) execDiv(inst x86.Inst) error {
@@ -641,6 +677,28 @@ func (c *CPU) execDiv(inst x86.Inst) error {
 			}
 			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) |
 				uint32(uint8(rem))<<8 | uint32(uint8(q))
+		}
+	case 16:
+		// Word form divides DX:AX, quotient to AX and remainder to DX.
+		dividend := (c.Reg[x86.EDX]&0xFFFF)<<16 | c.Reg[x86.EAX]&0xFFFF
+		if inst.Op == x86.DIV {
+			q := dividend / v
+			rem := dividend % v
+			if q > 0xFFFF {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | q
+			c.Reg[x86.EDX] = c.Reg[x86.EDX]&^uint32(0xFFFF) | rem
+		} else {
+			d := int32(dividend)
+			s := int32(int16(v))
+			q := d / s
+			rem := d % s
+			if q > 0x7FFF || q < -0x8000 {
+				return &DivideError{EIP: c.EIP}
+			}
+			c.Reg[x86.EAX] = c.Reg[x86.EAX]&^uint32(0xFFFF) | uint32(uint16(q))
+			c.Reg[x86.EDX] = c.Reg[x86.EDX]&^uint32(0xFFFF) | uint32(uint16(rem))
 		}
 	default:
 		dividend := uint64(c.Reg[x86.EDX])<<32 | uint64(c.Reg[x86.EAX])
@@ -750,7 +808,10 @@ func (c *CPU) execShift(inst x86.Inst) error {
 			}
 			c.CF = lo
 		}
-		c.OF = (r&signBit(w) != 0) != ((r&signBit(w) != 0) != (r&(signBit(w)>>1) != 0))
+		// OF = XOR of the two most-significant result bits (the SDM
+		// specifies MSB(dest) XOR CF before the rotate for count 1,
+		// which lands in exactly these two positions afterwards).
+		c.OF = (r&signBit(w) != 0) != (r&(signBit(w)>>1) != 0)
 	}
 	return c.writeOp(inst.Dst, w, r)
 }

@@ -1,0 +1,561 @@
+package emu
+
+// Regression tests for the flag-semantics sweep: shift/rotate edge
+// table, 16-bit multiply/divide forms, 8-bit divide #DE boundaries,
+// CBW/CWD, and REP string flag/ECX interaction under DF=1. The shift
+// table compares execShift against an independent bit-at-a-time model
+// written straight from the SDM pseudocode, so a transcription error
+// in the fast path cannot also hide in the expectation.
+
+import (
+	"errors"
+	"testing"
+
+	"parallax/internal/x86"
+)
+
+// shiftModel executes one shift/rotate bit by bit per the SDM loops.
+// Architecturally-undefined flag cases follow the repository's defined
+// conventions (see internal/difftest doc.go): OF is set from the
+// count-1 rule for every nonzero count, shifts leave AF unchanged,
+// rotates leave SF/ZF/PF untouched, and a masked count of zero changes
+// nothing at all.
+type shiftModel struct {
+	r          uint32
+	cf, of     bool
+	touchesSZP bool
+	wrote      bool
+}
+
+func runShiftModel(op x86.Op, w uint8, a, count uint32, cfIn bool) shiftModel {
+	bits := uint32(w)
+	mask := widthMask(w)
+	sign := signBit(w)
+	a &= mask
+	count &= 31
+	m := shiftModel{r: a, cf: cfIn}
+	if count == 0 {
+		return m
+	}
+	m.wrote = true
+	switch op {
+	case x86.SHL, x86.SAL:
+		for i := uint32(0); i < count; i++ {
+			m.cf = m.r&sign != 0
+			m.r = (m.r << 1) & mask
+		}
+		m.of = (m.r&sign != 0) != m.cf
+		m.touchesSZP = true
+	case x86.SHR:
+		for i := uint32(0); i < count; i++ {
+			m.cf = m.r&1 != 0
+			m.r >>= 1
+		}
+		m.of = a&sign != 0
+		m.touchesSZP = true
+	case x86.SAR:
+		s := a & sign
+		for i := uint32(0); i < count; i++ {
+			m.cf = m.r&1 != 0
+			m.r = m.r>>1 | s
+		}
+		m.of = false
+		m.touchesSZP = true
+	case x86.ROL:
+		for i := uint32(0); i < count%bits; i++ {
+			hi := m.r&sign != 0
+			m.r = (m.r << 1) & mask
+			if hi {
+				m.r |= 1
+			}
+		}
+		m.cf = m.r&1 != 0
+		m.of = (m.r&sign != 0) != m.cf
+	case x86.ROR:
+		for i := uint32(0); i < count%bits; i++ {
+			lo := m.r&1 != 0
+			m.r >>= 1
+			if lo {
+				m.r |= sign
+			}
+		}
+		m.cf = m.r&sign != 0
+		m.of = (m.r&sign != 0) != (m.r&(sign>>1) != 0)
+	case x86.RCL:
+		for i := uint32(0); i < count%(bits+1); i++ {
+			hi := m.r&sign != 0
+			m.r = (m.r << 1) & mask
+			if m.cf {
+				m.r |= 1
+			}
+			m.cf = hi
+		}
+		m.of = (m.r&sign != 0) != m.cf
+	case x86.RCR:
+		for i := uint32(0); i < count%(bits+1); i++ {
+			lo := m.r&1 != 0
+			m.r >>= 1
+			if m.cf {
+				m.r |= sign
+			}
+			m.cf = lo
+		}
+		m.of = (m.r&sign != 0) != (m.r&(sign>>1) != 0)
+	}
+	return m
+}
+
+func TestShiftRotateEdgeTable(t *testing.T) {
+	ops := []x86.Op{x86.SHL, x86.SAL, x86.SHR, x86.SAR,
+		x86.ROL, x86.ROR, x86.RCL, x86.RCR}
+	for _, w := range []uint8{8, 16, 32} {
+		bits := uint32(w)
+		mask := widthMask(w)
+		counts := []uint32{0, 1, bits - 1, bits, bits + 1, 31, 32, 33}
+		values := []uint32{0, 1, signBit(w), signBit(w) >> 1,
+			mask, 0xA5A5A5A5 & mask, 0x5A5A5A5A & mask}
+		reg := x86.RegOp(x86.EAX)
+		if w == 8 {
+			reg = x86.RegOp(x86.AL)
+		}
+		for _, op := range ops {
+			for _, count := range counts {
+				for _, a := range values {
+					for _, cfIn := range []bool{false, true} {
+						want := runShiftModel(op, w, a, count, cfIn)
+
+						c := New()
+						const garbage = 0xDEAD0000
+						c.Reg[x86.EAX] = garbage&^mask | a
+						c.CF = cfIn
+						c.AF = true // shifts must leave AF alone
+						c.SF, c.ZF, c.PF = true, true, false
+						inst := x86.Inst{Op: op, W: w,
+							Dst: reg, Src: x86.ImmOp(int32(count))}
+						if err := c.execShift(inst); err != nil {
+							t.Fatalf("%v w=%d count=%d: %v", op, w, count, err)
+						}
+
+						name := func() string {
+							return inst.String()
+						}
+						got := c.Reg[x86.EAX] & mask
+						wantReg := a
+						if want.wrote {
+							wantReg = want.r
+						}
+						if got != wantReg {
+							t.Errorf("%s a=%#x cf=%t: result %#x, want %#x",
+								name(), a, cfIn, got, wantReg)
+						}
+						if c.Reg[x86.EAX]&^mask != garbage&^mask {
+							t.Errorf("%s a=%#x: clobbered high bits: %#x",
+								name(), a, c.Reg[x86.EAX])
+						}
+						wantCF, wantOF := want.cf, want.of
+						if !want.wrote {
+							wantCF, wantOF = cfIn, false
+						}
+						if c.CF != wantCF {
+							t.Errorf("%s a=%#x cf=%t: CF=%t, want %t",
+								name(), a, cfIn, c.CF, wantCF)
+						}
+						if want.wrote && c.OF != wantOF {
+							t.Errorf("%s a=%#x cf=%t: OF=%t, want %t",
+								name(), a, cfIn, c.OF, wantOF)
+						}
+						if !c.AF {
+							t.Errorf("%s a=%#x: AF was clobbered", name(), a)
+						}
+						if want.touchesSZP {
+							r := want.r
+							if c.ZF != (r == 0) || c.SF != (r&signBit(w) != 0) ||
+								c.PF != parity8(r) {
+								t.Errorf("%s a=%#x: SZP=%t/%t/%t for r=%#x",
+									name(), a, c.SF, c.ZF, c.PF, r)
+							}
+						} else if !c.SF || !c.ZF || c.PF {
+							t.Errorf("%s a=%#x: rotate touched SZP", name(), a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRCROverflowFlag pins the fixed OF rule directly: the seed
+// expression `x != (x != y)` reduces to y alone, dropping the MSB term
+// of the SDM's "XOR of the two most-significant bits of the result".
+func TestRCROverflowFlag(t *testing.T) {
+	cases := []struct {
+		a    uint32
+		cf   bool
+		want bool // OF after rcr eax,1
+	}{
+		// result = CF:a >> 1, so MSB(result)=cfIn, MSB-1(result)=bit31(a).
+		{0x80000000, true, false}, // result 0xC0000000: bits 31,30 both set
+		{0x80000000, false, true}, // result 0x40000000: only bit 30
+		{0x00000000, true, true},  // result 0x80000000: only bit 31
+		{0x00000000, false, false},
+	}
+	for _, tc := range cases {
+		c := New()
+		c.Reg[x86.EAX] = tc.a
+		c.CF = tc.cf
+		inst := x86.Inst{Op: x86.RCR, W: 32,
+			Dst: x86.RegOp(x86.EAX), Src: x86.ImmOp(1)}
+		if err := c.execShift(inst); err != nil {
+			t.Fatal(err)
+		}
+		if c.OF != tc.want {
+			t.Errorf("rcr eax,1 a=%#x cf=%t: OF=%t, want %t",
+				tc.a, tc.cf, c.OF, tc.want)
+		}
+	}
+}
+
+func TestMulDiv16(t *testing.T) {
+	op1 := func(op x86.Op, r x86.Reg) x86.Inst {
+		return x86.Inst{Op: op, W: 16, Dst: x86.RegOp(r)}
+	}
+	t.Run("mul", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EAX] = 0xAAAA1234
+		c.Reg[x86.EDX] = 0xBBBB0000
+		c.Reg[x86.EBX] = 0xCCCC5678
+		if err := c.execMul(op1(x86.MUL, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		// 0x1234 * 0x5678 = 0x06260060
+		if c.Reg[x86.EAX] != 0xAAAA0060 || c.Reg[x86.EDX] != 0xBBBB0626 {
+			t.Errorf("mul bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+		if !c.CF || !c.OF {
+			t.Errorf("mul bx: CF=%t OF=%t, want true (DX nonzero)", c.CF, c.OF)
+		}
+	})
+	t.Run("mul fits", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EAX] = 0x0100
+		c.Reg[x86.EBX] = 0x00FF
+		if err := c.execMul(op1(x86.MUL, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Reg[x86.EAX] != 0xFF00 || c.Reg[x86.EDX]&0xFFFF != 0 {
+			t.Errorf("mul bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+		if c.CF || c.OF {
+			t.Errorf("mul bx: CF=%t OF=%t, want false (DX zero)", c.CF, c.OF)
+		}
+	})
+	t.Run("imul", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EAX] = 0xFFFF // AX = -1
+		c.Reg[x86.EBX] = 0x0002
+		if err := c.execMul(op1(x86.IMUL, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		// -1 * 2 = -2 → DX:AX = FFFF:FFFE, fits in AX → CF=OF=false.
+		if c.Reg[x86.EAX]&0xFFFF != 0xFFFE || c.Reg[x86.EDX]&0xFFFF != 0xFFFF {
+			t.Errorf("imul bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+		if c.CF || c.OF {
+			t.Errorf("imul bx: CF=%t OF=%t, want false", c.CF, c.OF)
+		}
+	})
+	t.Run("imul overflow", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EAX] = 0x4000
+		c.Reg[x86.EBX] = 0x0002
+		if err := c.execMul(op1(x86.IMUL, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		// 16384*2 = 32768 does not fit in a signed word.
+		if c.Reg[x86.EAX]&0xFFFF != 0x8000 || c.Reg[x86.EDX]&0xFFFF != 0 {
+			t.Errorf("imul bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+		if !c.CF || !c.OF {
+			t.Errorf("imul bx: CF=%t OF=%t, want true", c.CF, c.OF)
+		}
+	})
+	t.Run("div", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EDX] = 0xAAAA0001 // DX:AX = 0x0001_0002
+		c.Reg[x86.EAX] = 0xBBBB0002
+		c.Reg[x86.EBX] = 0xCCCC0003
+		if err := c.execDiv(op1(x86.DIV, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		// 0x10002 / 3 = 0x5556 rem 0.
+		if c.Reg[x86.EAX] != 0xBBBB5556 || c.Reg[x86.EDX] != 0xAAAA0000 {
+			t.Errorf("div bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+	})
+	t.Run("div #DE", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EDX] = 0x0002 // DX:AX = 0x0002_0000
+		c.Reg[x86.EAX] = 0x0000
+		c.Reg[x86.EBX] = 0x0002 // quotient 0x10000 > 0xFFFF
+		err := c.execDiv(op1(x86.DIV, x86.EBX))
+		var de *DivideError
+		if !errors.As(err, &de) {
+			t.Errorf("div bx: err=%v, want DivideError", err)
+		}
+	})
+	t.Run("div quotient boundary", func(t *testing.T) {
+		c := New()
+		c.Reg[x86.EDX] = 0x0001 // DX:AX = 0x0001_FFFE = 0xFFFF*2
+		c.Reg[x86.EAX] = 0xFFFE
+		c.Reg[x86.EBX] = 0x0002
+		if err := c.execDiv(op1(x86.DIV, x86.EBX)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Reg[x86.EAX]&0xFFFF != 0xFFFF || c.Reg[x86.EDX]&0xFFFF != 0 {
+			t.Errorf("div bx: EAX=%#x EDX=%#x", c.Reg[x86.EAX], c.Reg[x86.EDX])
+		}
+	})
+	t.Run("idiv boundaries", func(t *testing.T) {
+		cases := []struct {
+			dx, ax, bx uint32
+			q, rem     uint32
+			de         bool
+		}{
+			{0xFFFF, 0x0000, 0x0002, 0x8000, 0, false},      // -65536/2 = -32768
+			{0x0000, 0xFFFE, 0x0002, 0x7FFF, 0, false},      // 65534/2 = 32767
+			{0x0000, 0xFFFF, 0x0002, 0x7FFF, 1, false},      // 65535/2 = 32767 rem 1
+			{0x0001, 0x0000, 0x0002, 0, 0, true},            // 65536/2 = 32768 → #DE
+			{0xFFFE, 0xFFFE, 0x0002, 0, 0, true},            // -65538/2 = -32769 → #DE
+			{0xFFFF, 0xFFFD, 0x0002, 0xFFFF, 0xFFFF, false}, // -3/2 = -1 rem -1
+		}
+		for _, tc := range cases {
+			c := New()
+			c.Reg[x86.EDX] = tc.dx
+			c.Reg[x86.EAX] = tc.ax
+			c.Reg[x86.EBX] = tc.bx
+			err := c.execDiv(op1(x86.IDIV, x86.EBX))
+			if tc.de {
+				var de *DivideError
+				if !errors.As(err, &de) {
+					t.Errorf("idiv dx:ax=%04x:%04x/%d: err=%v, want #DE",
+						tc.dx, tc.ax, tc.bx, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("idiv dx:ax=%04x:%04x/%d: %v", tc.dx, tc.ax, tc.bx, err)
+				continue
+			}
+			if c.Reg[x86.EAX]&0xFFFF != tc.q || c.Reg[x86.EDX]&0xFFFF != tc.rem {
+				t.Errorf("idiv dx:ax=%04x:%04x/%d: AX=%#x DX=%#x, want q=%#x rem=%#x",
+					tc.dx, tc.ax, tc.bx,
+					c.Reg[x86.EAX]&0xFFFF, c.Reg[x86.EDX]&0xFFFF, tc.q, tc.rem)
+			}
+		}
+	})
+}
+
+func TestDiv8Boundaries(t *testing.T) {
+	op1 := func(op x86.Op) x86.Inst {
+		return x86.Inst{Op: op, W: 8, Dst: x86.RegOp(x86.BL)}
+	}
+	cases := []struct {
+		op     x86.Op
+		ax, bl uint32
+		al, ah uint32 // quotient, remainder
+		de     bool
+	}{
+		{x86.DIV, 0x01FE, 2, 0xFF, 0, false}, // q=0xFF: largest legal
+		{x86.DIV, 0x0200, 2, 0, 0, true},     // q=0x100 → #DE
+		{x86.DIV, 0x0000, 0, 0, 0, true},     // divide by zero
+		// IDIV: AX=-256/2=-128 (just legal), 256/2=128 (#DE),
+		// 254/2=127 (legal), -258/2=-129 (#DE).
+		{x86.IDIV, 0xFF00, 2, 0x80, 0, false},
+		{x86.IDIV, 0x0100, 2, 0, 0, true},
+		{x86.IDIV, 0x00FE, 2, 0x7F, 0, false},
+		{x86.IDIV, 0xFEFE, 2, 0, 0, true},
+		{x86.IDIV, 0xFFFD, 2, 0xFF, 0xFF, false}, // -3/2 = -1 rem -1
+	}
+	for _, tc := range cases {
+		c := New()
+		c.Reg[x86.EAX] = 0xDEAD0000 | tc.ax
+		c.Reg[x86.EBX] = tc.bl
+		err := c.execDiv(op1(tc.op))
+		if tc.de {
+			var de *DivideError
+			if !errors.As(err, &de) {
+				t.Errorf("%v ax=%#x/%d: err=%v, want #DE", tc.op, tc.ax, tc.bl, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v ax=%#x/%d: %v", tc.op, tc.ax, tc.bl, err)
+			continue
+		}
+		al := c.Reg[x86.EAX] & 0xFF
+		ah := c.Reg[x86.EAX] >> 8 & 0xFF
+		if al != tc.al || ah != tc.ah {
+			t.Errorf("%v ax=%#x/%d: AL=%#x AH=%#x, want %#x/%#x",
+				tc.op, tc.ax, tc.bl, al, ah, tc.al, tc.ah)
+		}
+		if c.Reg[x86.EAX]>>16 != 0xDEAD {
+			t.Errorf("%v: clobbered upper EAX: %#x", tc.op, c.Reg[x86.EAX])
+		}
+	}
+}
+
+// TestCbwCwd runs the 0x66-prefixed conversions end to end through
+// decode so the new 16-bit forms of 0x98/0x99 are pinned.
+func TestCbwCwd(t *testing.T) {
+	code := asm(t, func(b *x86.Builder) {
+		b.I(ri(x86.MOV, x86.EAX, 0x11110080)) // AL = 0x80
+		b.I(ri(x86.MOV, x86.EDX, 0x22220000))
+		b.I(x86.Inst{Op: x86.CWDE, W: 16}) // cbw: AX = 0xFF80
+		b.I(x86.Inst{Op: x86.CDQ, W: 16})  // cwd: DX = 0xFFFF (AX negative)
+		b.I(x86.Inst{Op: x86.RET, W: 32})
+	})
+	c := testCPU(t, code)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg[x86.EAX] != 0x1111FF80 {
+		t.Errorf("cbw: EAX=%#x, want 0x1111ff80", c.Reg[x86.EAX])
+	}
+	if c.Reg[x86.EDX] != 0x2222FFFF {
+		t.Errorf("cwd: EDX=%#x, want 0x2222ffff", c.Reg[x86.EDX])
+	}
+
+	code = asm(t, func(b *x86.Builder) {
+		b.I(ri(x86.MOV, x86.EAX, 0x3333007F)) // AL positive
+		b.I(ri(x86.MOV, x86.EDX, -1))
+		b.I(x86.Inst{Op: x86.CWDE, W: 16}) // cbw: AX = 0x007F
+		b.I(x86.Inst{Op: x86.CDQ, W: 16})  // cwd: DX = 0 (upper EDX kept)
+		b.I(x86.Inst{Op: x86.RET, W: 32})
+	})
+	c = testCPU(t, code)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg[x86.EAX] != 0x3333007F {
+		t.Errorf("cbw: EAX=%#x, want 0x3333007f", c.Reg[x86.EAX])
+	}
+	if c.Reg[x86.EDX] != 0xFFFF0000 {
+		t.Errorf("cwd: EDX=%#x, want 0xffff0000", c.Reg[x86.EDX])
+	}
+}
+
+// TestImul16SignExtension pins the two-operand IMUL width fix: without
+// 16-bit sign extension, 0x4000*2 = 0x8000 looks like it fits and
+// CF/OF stay clear.
+func TestImul16SignExtension(t *testing.T) {
+	c := New()
+	c.Reg[x86.EAX] = 0x4000
+	c.Reg[x86.EBX] = 0x0002
+	inst := x86.Inst{Op: x86.IMUL, W: 16,
+		Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EBX)}
+	if err := c.execMul(inst); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg[x86.EAX]&0xFFFF != 0x8000 {
+		t.Errorf("imul ax,bx: AX=%#x, want 0x8000", c.Reg[x86.EAX]&0xFFFF)
+	}
+	if !c.CF || !c.OF {
+		t.Errorf("imul ax,bx: CF=%t OF=%t, want true (0x8000 is -32768)", c.CF, c.OF)
+	}
+
+	// -1 * -1 = 1 fits: flags clear.
+	c = New()
+	c.Reg[x86.EAX] = 0xFFFF
+	inst = x86.Inst{Op: x86.IMUL, W: 16,
+		Dst: x86.RegOp(x86.EAX), Src: x86.RegOp(x86.EAX), HasImm: true, Imm: -1}
+	if err := c.execMul(inst); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg[x86.EAX]&0xFFFF != 1 || c.CF || c.OF {
+		t.Errorf("imul ax,ax,-1: AX=%#x CF=%t OF=%t, want 1/false/false",
+			c.Reg[x86.EAX]&0xFFFF, c.CF, c.OF)
+	}
+}
+
+// TestRepStringDF1 exercises REPNE SCASB and REPE CMPSB scanning
+// backwards: final ECX, pointer positions, and ZF must match a real
+// CPU's early-exit semantics.
+func TestRepStringDF1(t *testing.T) {
+	t.Run("repne scasb", func(t *testing.T) {
+		code := asm(t, func(b *x86.Builder) {
+			b.I(x86.Inst{Op: x86.STD, W: 32})
+			b.I(ri(x86.MOV, x86.EDI, testDataBase+9))
+			b.I(ri(x86.MOV, x86.ECX, 10))
+			b.I(ri(x86.MOV, x86.EAX, 0x42))
+			b.I(x86.Inst{Op: x86.SCAS, W: 8, RepNE: true})
+			b.I(x86.Inst{Op: x86.CLD, W: 32})
+			b.I(x86.Inst{Op: x86.RET, W: 32})
+		})
+		c := testCPU(t, code)
+		// data[0..9] = 0..9, except data[4] = 0x42: scanning back from
+		// index 9 visits 9,8,7,6,5,4 (6 elements) and stops on the hit.
+		for i := 0; i < 10; i++ {
+			if err := c.Mem.Store8(testDataBase+uint32(i), uint8(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Mem.Store8(testDataBase+4, 0x42, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Reg[x86.ECX] != 4 {
+			t.Errorf("ECX=%d, want 4", c.Reg[x86.ECX])
+		}
+		if !c.ZF {
+			t.Error("ZF=false, want true (match found)")
+		}
+		// EDI steps past the matching element.
+		if c.Reg[x86.EDI] != testDataBase+3 {
+			t.Errorf("EDI=%#x, want %#x", c.Reg[x86.EDI], uint32(testDataBase+3))
+		}
+	})
+	t.Run("repe cmpsb", func(t *testing.T) {
+		code := asm(t, func(b *x86.Builder) {
+			b.I(x86.Inst{Op: x86.STD, W: 32})
+			b.I(ri(x86.MOV, x86.ESI, testDataBase+7))
+			b.I(ri(x86.MOV, x86.EDI, testDataBase+0x107))
+			b.I(ri(x86.MOV, x86.ECX, 8))
+			b.I(x86.Inst{Op: x86.CMPS, W: 8, Rep: true})
+			b.I(x86.Inst{Op: x86.CLD, W: 32})
+			b.I(x86.Inst{Op: x86.RET, W: 32})
+		})
+		c := testCPU(t, code)
+		// Two equal 8-byte blocks except at index 2: comparing backwards
+		// from index 7 runs 7,6,5,4,3,2 then stops unequal.
+		for i := 0; i < 8; i++ {
+			if err := c.Mem.Store8(testDataBase+uint32(i), uint8(i), 0); err != nil {
+				t.Fatal(err)
+			}
+			v := uint8(i)
+			if i == 2 {
+				v = 0x99
+			}
+			if err := c.Mem.Store8(testDataBase+0x100+uint32(i), v, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Reg[x86.ECX] != 2 {
+			t.Errorf("ECX=%d, want 2", c.Reg[x86.ECX])
+		}
+		if c.ZF {
+			t.Error("ZF=true, want false (mismatch ended the scan)")
+		}
+		// CMP 0x02 - 0x99 borrows.
+		if !c.CF {
+			t.Error("CF=false, want true (2 < 0x99)")
+		}
+		if c.Reg[x86.ESI] != testDataBase+1 {
+			t.Errorf("ESI=%#x, want %#x", c.Reg[x86.ESI], uint32(testDataBase+1))
+		}
+	})
+}

@@ -15,6 +15,42 @@ type Kernel interface {
 	Syscall(c *CPU) error
 }
 
+// SysCPU is the machine surface a kernel model needs: register file,
+// data memory, and an exit latch. The kernel is part of the test
+// harness rather than the ISA, so alternative execution engines (the
+// difftest reference interpreter) implement this to share one kernel
+// model with the CPU — any drift between engines' syscall behaviour
+// would show up as false lockstep divergences.
+type SysCPU interface {
+	GetReg(r x86.Reg) uint32
+	SetReg(r x86.Reg, v uint32)
+	// MemRead reads n bytes at addr as a data read.
+	MemRead(addr, n uint32) ([]byte, error)
+	MemStore8(addr uint32, v uint8) error
+	MemStore32(addr, v uint32) error
+	// Exit latches the exited state with the given status.
+	Exit(status int32)
+}
+
+// sysCPUAdapter presents a *CPU as a SysCPU.
+type sysCPUAdapter struct{ c *CPU }
+
+func (a sysCPUAdapter) GetReg(r x86.Reg) uint32    { return a.c.Reg[r] }
+func (a sysCPUAdapter) SetReg(r x86.Reg, v uint32) { a.c.Reg[r] = v }
+func (a sysCPUAdapter) MemRead(addr, n uint32) ([]byte, error) {
+	return a.c.Mem.Read(addr, n, a.c.EIP)
+}
+func (a sysCPUAdapter) MemStore8(addr uint32, v uint8) error {
+	return a.c.Mem.Store8(addr, v, a.c.EIP)
+}
+func (a sysCPUAdapter) MemStore32(addr, v uint32) error {
+	return a.c.Mem.Store32(addr, v, a.c.EIP)
+}
+func (a sysCPUAdapter) Exit(status int32) {
+	a.c.Exited = true
+	a.c.Status = status
+}
+
 // Linux i386 syscall numbers used by this repository's programs.
 const (
 	SysExit    = 1
@@ -86,21 +122,26 @@ func (os *OS) trace(format string, args ...any) {
 }
 
 // Syscall implements Kernel.
-func (os *OS) Syscall(c *CPU) error {
-	num := c.Reg[x86.EAX]
-	a1 := c.Reg[x86.EBX]
-	a2 := c.Reg[x86.ECX]
-	a3 := c.Reg[x86.EDX]
+func (os *OS) Syscall(c *CPU) error { return os.SyscallOn(sysCPUAdapter{c}) }
+
+// SyscallOn services one int 0x80 on any machine exposing SysCPU.
+// All engines running the same program against the same *OS instance
+// must observe identical kernel behaviour, so the logic lives here
+// once rather than per engine.
+func (os *OS) SyscallOn(sc SysCPU) error {
+	num := sc.GetReg(x86.EAX)
+	a1 := sc.GetReg(x86.EBX)
+	a2 := sc.GetReg(x86.ECX)
+	a3 := sc.GetReg(x86.EDX)
 	switch num {
 	case SysExit:
-		c.Exited = true
-		c.Status = int32(a1)
+		sc.Exit(int32(a1))
 		os.trace("exit(%d)", int32(a1))
 
 	case SysWrite:
-		buf, err := c.Mem.Read(a2, a3, c.EIP)
+		buf, err := sc.MemRead(a2, a3)
 		if err != nil {
-			c.Reg[x86.EAX] = errno(EFAULT)
+			sc.SetReg(x86.EAX, errno(EFAULT))
 			return nil
 		}
 		switch a1 {
@@ -109,26 +150,26 @@ func (os *OS) Syscall(c *CPU) error {
 		case 2:
 			os.Stderr.Write(buf)
 		default:
-			c.Reg[x86.EAX] = errno(EBADF)
+			sc.SetReg(x86.EAX, errno(EBADF))
 			return nil
 		}
-		c.Reg[x86.EAX] = a3
+		sc.SetReg(x86.EAX, a3)
 		os.trace("write(%d, %q) = %d", a1, buf, a3)
 
 	case SysRead:
 		if a1 != 0 || os.Stdin == nil {
-			c.Reg[x86.EAX] = errno(EBADF)
+			sc.SetReg(x86.EAX, errno(EBADF))
 			return nil
 		}
 		buf := make([]byte, a3)
 		n, _ := os.Stdin.Read(buf)
 		for i := 0; i < n; i++ {
-			if err := c.Mem.Store8(a2+uint32(i), buf[i], c.EIP); err != nil {
-				c.Reg[x86.EAX] = errno(EFAULT)
+			if err := sc.MemStore8(a2+uint32(i), buf[i]); err != nil {
+				sc.SetReg(x86.EAX, errno(EFAULT))
 				return nil
 			}
 		}
-		c.Reg[x86.EAX] = uint32(n)
+		sc.SetReg(x86.EAX, uint32(n))
 		os.trace("read(0, %d) = %d", a3, n)
 
 	case SysTime:
@@ -137,12 +178,12 @@ func (os *OS) Syscall(c *CPU) error {
 			now = 1_420_070_400 // 2015-01-01, the paper's year
 		}
 		if a1 != 0 {
-			if err := c.Mem.Store32(a1, uint32(now), c.EIP); err != nil {
-				c.Reg[x86.EAX] = errno(EFAULT)
+			if err := sc.MemStore32(a1, uint32(now)); err != nil {
+				sc.SetReg(x86.EAX, errno(EFAULT))
 				return nil
 			}
 		}
-		c.Reg[x86.EAX] = uint32(now)
+		sc.SetReg(x86.EAX, uint32(now))
 		os.trace("time() = %d", now)
 
 	case SysGetpid:
@@ -150,7 +191,7 @@ func (os *OS) Syscall(c *CPU) error {
 		if pid == 0 {
 			pid = 4242
 		}
-		c.Reg[x86.EAX] = uint32(pid)
+		sc.SetReg(x86.EAX, uint32(pid))
 		os.trace("getpid() = %d", pid)
 
 	case SysPtrace:
@@ -158,15 +199,15 @@ func (os *OS) Syscall(c *CPU) error {
 		// the classic anti-debugging check from the paper's §IV-A.
 		if a1 == PtraceTraceme {
 			if os.DebuggerAttached || os.traced {
-				c.Reg[x86.EAX] = errno(EPERM)
+				sc.SetReg(x86.EAX, errno(EPERM))
 				os.trace("ptrace(TRACEME) = -EPERM")
 			} else {
 				os.traced = true
-				c.Reg[x86.EAX] = 0
+				sc.SetReg(x86.EAX, 0)
 				os.trace("ptrace(TRACEME) = 0")
 			}
 		} else {
-			c.Reg[x86.EAX] = errno(ENOSYS)
+			sc.SetReg(x86.EAX, errno(ENOSYS))
 		}
 
 	case SysGetrand:
@@ -178,18 +219,18 @@ func (os *OS) Syscall(c *CPU) error {
 			s ^= s << 13
 			s ^= s >> 17
 			s ^= s << 5
-			if err := c.Mem.Store8(a1+i, uint8(s), c.EIP); err != nil {
-				c.Reg[x86.EAX] = errno(EFAULT)
+			if err := sc.MemStore8(a1+i, uint8(s)); err != nil {
+				sc.SetReg(x86.EAX, errno(EFAULT))
 				return nil
 			}
 		}
 		os.RandState = s
-		c.Reg[x86.EAX] = a2
+		sc.SetReg(x86.EAX, a2)
 		os.trace("getrandom(%d) = %d", a2, a2)
 
 	default:
 		os.trace("unknown syscall %d", num)
-		c.Reg[x86.EAX] = errno(ENOSYS)
+		sc.SetReg(x86.EAX, errno(ENOSYS))
 	}
 	return nil
 }

@@ -368,9 +368,12 @@ prefixesDone:
 		}
 		return Inst{Op: NOP, W: 32}, nil
 	case 0x98:
-		return Inst{Op: CWDE, W: 32}, nil
+		// With an operand-size prefix this is CBW (AX <- sext AL);
+		// the width field distinguishes the two forms.
+		return Inst{Op: CWDE, W: d.width()}, nil
 	case 0x99:
-		return Inst{Op: CDQ, W: 32}, nil
+		// With an operand-size prefix this is CWD (DX:AX <- sext AX).
+		return Inst{Op: CDQ, W: d.width()}, nil
 	case 0x9C:
 		return Inst{Op: PUSHFD, W: 32}, nil
 	case 0x9D:

@@ -64,6 +64,9 @@ func TestDecodeGolden(t *testing.T) {
 		{"lahf", []byte{0x9F}, 0, "lahf"},
 		{"sahf", []byte{0x9E}, 0, "sahf"},
 		{"cdq", []byte{0x99}, 0, "cdq"},
+		{"cwde", []byte{0x98}, 0, "cwde"},
+		{"cwd", []byte{0x66, 0x99}, 0, "cwd"},
+		{"cbw", []byte{0x66, 0x98}, 0, "cbw"},
 		{"sete al", []byte{0x0F, 0x94, 0xC0}, 0, "sete al"},
 		{"setl dl", []byte{0x0F, 0x9C, 0xC2}, 0, "setl dl"},
 		{"imul ebx,ecx", []byte{0x0F, 0xAF, 0xD9}, 0, "imul ebx,ecx"},

@@ -240,9 +240,11 @@ func (e *encoder) encode(inst Inst) error {
 		e.b(0x9E)
 		return nil
 	case CDQ:
+		e.prefix66(inst.W)
 		e.b(0x99)
 		return nil
 	case CWDE:
+		e.prefix66(inst.W)
 		e.b(0x98)
 		return nil
 	case CLC:

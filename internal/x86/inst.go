@@ -287,6 +287,14 @@ func (i Inst) String() string {
 		b.WriteString(i.Op.String())
 		b.WriteString(suffix)
 		return b.String()
+	case CWDE:
+		if i.W == 16 {
+			return b.String() + "cbw"
+		}
+	case CDQ:
+		if i.W == 16 {
+			return b.String() + "cwd"
+		}
 	}
 	b.WriteString(i.Op.String())
 	w := int(i.W)
