@@ -61,13 +61,27 @@ fi
 
 # Differential-oracle hard gate: the gadget-biased generated batch,
 # the corpus replay (baseline + protected binaries) and the
-# reverted-bug demonstration must all hold in lockstep between the
-# production emulator and the SDM-pseudocode reference interpreter.
-# Any reported divergence is a flag/semantics bug, not noise.
-echo "==> differential oracle: lockstep gate (generated batch + corpus replay)"
+# reverted-bug demonstration must all hold in lockstep across all
+# three engines — the production interpreter, the SDM-pseudocode
+# reference, and the translation-block engine (internal/emu/tb; the
+# TestLockstep* tests set Options.TB, so this gate holds tb to
+# per-step interpreter equivalence too). Any reported divergence is a
+# flag/semantics bug, not noise.
+echo "==> differential oracle: three-way lockstep gate (generated batch + corpus replay)"
 go test -run 'TestLockstep' ./internal/difftest
 
+# Engine-throughput record: solo interp/ref/tb insts/s over the full
+# corpus plus a three-way lockstep replay, written to BENCH_tb.json.
+# The divergence column is the hard gate (the experiment exits
+# non-zero on any divergence); the rates are informational because
+# wall-clock varies by host.
+echo "==> engine benchmark: difftest experiment (BENCH_tb.json)"
+go run ./cmd/parallax-bench -experiment difftest -progs wget,nginx,bzip2,gzip,gcc,lame
+
 if [[ "$FUZZTIME" != "0" ]]; then
+    # FuzzLockstep replays every seed and mutation through the same
+    # three-way oracle, so the tb engine is fuzzed alongside the
+    # interpreters.
     echo "==> fuzz smoke: FuzzLockstep ($FUZZTIME)"
     go test -run='^$' -fuzz=FuzzLockstep -fuzztime="$FUZZTIME" ./internal/difftest
     echo "==> fuzz smoke: FuzzDecode ($FUZZTIME)"

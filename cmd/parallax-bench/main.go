@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -609,18 +610,61 @@ func difftestExperiment(progs string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %10s %12s %12s %12s %11s\n",
-		"program", "insts", "fast i/s", "ref i/s", "lockstep i/s", "divergences")
+	fmt.Printf("%-8s %10s %12s %12s %12s %12s %10s %11s\n",
+		"program", "insts", "interp i/s", "ref i/s", "tb i/s", "lockstep i/s", "tb/interp", "divergences")
 	for _, r := range rows {
-		fmt.Printf("%-8s %10d %12.0f %12.0f %12.0f %11d\n",
-			r.Program, r.Insts, r.FastIPS, r.RefIPS, r.LockstepIPS, r.Divergences)
+		fmt.Printf("%-8s %10d %12.0f %12.0f %12.0f %12.0f %9.2fx %11d\n",
+			r.Program, r.Insts, r.FastIPS, r.RefIPS, r.TBIPS, r.LockstepIPS,
+			r.TBSpeedup(), r.Divergences)
 		if r.Divergences != 0 {
 			return fmt.Errorf("difftest: %s diverged between engines", r.Program)
 		}
 	}
-	fmt.Println("\nthe fast engine's lead over the SDM-pseudocode reference interpreter")
-	fmt.Println("is the decode cache and branch-free flag formulas paying off; lockstep")
-	fmt.Println("adds a full state comparison per retired instruction. Rates vary by")
-	fmt.Println("host; the divergence column must read zero (ci.sh gates on it).")
+	if err := writeBenchTB(rows); err != nil {
+		return err
+	}
+	fmt.Println("\nthe interpreter's lead over the SDM-pseudocode reference is the decode")
+	fmt.Println("cache and branch-free flag formulas; the tb column is the translation-")
+	fmt.Println("block engine (translate once, chain blocks, materialize flags lazily).")
+	fmt.Println("Lockstep adds a full three-way state comparison per retired instruction.")
+	fmt.Println("Rates vary by host; the divergence column must read zero (ci.sh gates")
+	fmt.Println("on it). Machine-readable rates land in BENCH_tb.json.")
+	return nil
+}
+
+// writeBenchTB records the engine-throughput comparison in a
+// machine-readable file next to the working directory's other CI
+// artifacts: per-program insts/s for all three engines plus the
+// tb-over-interpreter speedup ratio.
+func writeBenchTB(rows []experiment.DifftestRow) error {
+	type rec struct {
+		Program     string  `json:"program"`
+		Insts       uint64  `json:"insts"`
+		InterpIPS   float64 `json:"interp_ips"`
+		RefIPS      float64 `json:"ref_ips"`
+		TBIPS       float64 `json:"tb_ips"`
+		TBSpeedup   float64 `json:"tb_speedup"`
+		Divergences int     `json:"divergences"`
+	}
+	out := make([]rec, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, rec{
+			Program:     r.Program,
+			Insts:       r.Insts,
+			InterpIPS:   r.FastIPS,
+			RefIPS:      r.RefIPS,
+			TBIPS:       r.TBIPS,
+			TBSpeedup:   r.TBSpeedup(),
+			Divergences: r.Divergences,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_tb.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_tb.json")
 	return nil
 }

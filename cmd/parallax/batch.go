@@ -29,6 +29,7 @@ func cmdBatch(args []string) error {
 	outDir := fs.String("o", "", "directory to save protected images into (optional)")
 	metrics := fs.Bool("metrics", false, "collect farm/pipeline metrics and print them after the batch")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
+	engine := fs.String("engine", "interp", "execution backend for protection-time emulation: interp|tb")
 	fs.Parse(args)
 
 	var programs []corpus.Program
@@ -53,6 +54,9 @@ func cmdBatch(args []string) error {
 	}
 	if *rounds < 1 {
 		return fmt.Errorf("%w: -rounds must be >= 1", errUsage)
+	}
+	if *engine != "interp" && *engine != "tb" {
+		return usagef("bad -engine %q (want interp|tb)", *engine)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o777); err != nil {
@@ -92,6 +96,7 @@ func cmdBatch(args []string) error {
 					VerifyFuncs: []string{p.VerifyFunc},
 					ChainMode:   m,
 					Obs:         reg,
+					Engine:      *engine,
 				})
 				if err != nil {
 					return fmt.Errorf("submitting %s: %w", name, err)

@@ -31,6 +31,7 @@ func cmdCampaign(args []string) error {
 	reuseVM := fs.Bool("reuse-vm", true, "reuse one emulator per worker via snapshot/restore (false = clone+reload per mutant)")
 	metrics := fs.Bool("metrics", false, "collect pipeline/emulator/farm metrics and print them after the matrix")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
+	engine := fs.String("engine", "interp", "mutant execution backend: interp|tb (translation-block engine)")
 	fs.Parse(args)
 
 	p, err := corpus.ByName(*prog)
@@ -48,6 +49,9 @@ func cmdCampaign(args []string) error {
 
 	if *metricsFormat != "json" && *metricsFormat != "table" {
 		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
+	}
+	if *engine != "interp" && *engine != "tb" {
+		return usagef("bad -engine %q (want interp|tb)", *engine)
 	}
 
 	// With -metrics the protection runs through a one-shot farm so the
@@ -91,6 +95,7 @@ func cmdCampaign(args []string) error {
 		Stdin:      p.Stdin,
 		Obs:        reg,
 		Reload:     !*reuseVM,
+		Engine:     *engine,
 	})
 	if err != nil {
 		return fmt.Errorf("campaign over %s: %w", p.Name, err)

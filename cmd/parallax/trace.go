@@ -35,9 +35,13 @@ func cmdTrace(args []string) error {
 	asJSON := fs.Bool("json", false, "print events as JSON instead of text lines")
 	withMetrics := fs.Bool("metrics", false, "print the run's metrics after the events")
 	metricsFormat := fs.String("metrics-format", "table", "metrics output format: json|table")
+	engine := fs.String("engine", "interp", "execution backend: interp|tb (translation-block engine)")
 	fs.Parse(args)
 	if *metricsFormat != "json" && *metricsFormat != "table" {
 		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
+	}
+	if *engine != "interp" && *engine != "tb" {
+		return usagef("bad -engine %q (want interp|tb)", *engine)
 	}
 
 	var img *image.Image
@@ -105,6 +109,7 @@ func cmdTrace(args []string) error {
 		Obs:        reg,
 		Trace:      sink,
 		TraceEvery: *every,
+		Engine:     *engine,
 	})
 
 	if *asJSON {

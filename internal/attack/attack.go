@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
 	"parallax/internal/image"
 	"parallax/internal/obs"
 	"parallax/internal/x86"
@@ -177,6 +178,21 @@ type RunConfig struct {
 	// between runs); RunWith still installs a fresh kernel and applies
 	// the budgets above on every call. The image argument is ignored.
 	CPU *emu.CPU
+	// Engine selects the execution backend: "" or "interp" is the
+	// interpreter, "tb" the translation-block engine (internal/emu/tb).
+	// Any other value fails the run.
+	Engine string
+	// Exec, when non-nil, drives the run instead of the backend Engine
+	// selects: RunWith calls Exec.RunContext against the (possibly
+	// reused) CPU. The campaign path passes a persistent tb.Engine
+	// here so translations stay warm across snapshot/restore mutants.
+	Exec Runner
+}
+
+// Runner is an execution backend driving an already-configured CPU —
+// satisfied by emu.CPU (the interpreter) and tb.Engine.
+type Runner interface {
+	RunContext(ctx context.Context) error
 }
 
 // RunWith executes an image under a configured kernel. The context is a
@@ -211,7 +227,19 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 	os := emu.NewOS(cfg.Stdin)
 	os.DebuggerAttached = cfg.DebuggerAttached
 	cpu.OS = os
-	err := cpu.RunContext(ctx)
+	run := cpu.RunContext
+	switch {
+	case cfg.Exec != nil:
+		run = cfg.Exec.RunContext
+	case cfg.Engine == "tb":
+		eng := tb.New(cpu, cfg.Obs)
+		defer eng.Close()
+		run = eng.RunContext
+	case cfg.Engine != "" && cfg.Engine != "interp":
+		cfg.Obs.Counter("emu.load_failures").Inc()
+		return RunResult{Err: fmt.Errorf("attack: unknown engine %q (want interp or tb)", cfg.Engine)}
+	}
+	err := run(ctx)
 	recordRun(cfg.Obs, cpu, err)
 	return RunResult{
 		Status: cpu.Status,

@@ -35,6 +35,7 @@ import (
 	"parallax/internal/attack"
 	"parallax/internal/core"
 	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
 	"parallax/internal/image"
 	"parallax/internal/obs"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	// defaults).
 	MemBudget uint64
 	StackSize uint32
+	// Engine selects the execution backend for every run, clean and
+	// mutated: "" or "interp" is the interpreter, "tb" the
+	// translation-block engine. On the snapshot/restore path each
+	// worker keeps one persistent tb engine, so translations of the
+	// unmutated pages stay warm across mutants (Restore's page
+	// copy-back invalidates exactly the translations a mutant dirtied).
+	Engine string
 	// Obs, when non-nil, accumulates campaign activity into a shared
 	// metrics registry: per-class outcome counters
 	// (campaign.outcome.<class>), campaign.mutants, campaign.panics,
@@ -116,7 +124,7 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 	clean := attack.RunWith(ctx, prot.Image, attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Engine: cfg.Engine,
 	})
 	if clean.Err != nil {
 		return nil, fmt.Errorf("campaign: clean reference run failed: %w", clean.Err)
@@ -203,6 +211,13 @@ feed:
 type vmEngine struct {
 	cpu  *emu.CPU
 	snap *emu.Snapshot
+
+	// tbe is the worker's persistent translation-block engine
+	// (Config.Engine "tb" only). Living across mutants, it keeps
+	// translations of undisturbed code warm: applyVM's pokes and
+	// Restore's page copy-backs invalidate, through the memory bus's
+	// code hooks, exactly the blocks whose bytes changed.
+	tbe *tb.Engine
 }
 
 // newVMEngine loads the image and takes the baseline snapshot. A load
@@ -216,7 +231,11 @@ func newVMEngine(base *image.Image, cfg Config) *vmEngine {
 	if err != nil {
 		return nil
 	}
-	return &vmEngine{cpu: cpu, snap: cpu.Snapshot()}
+	eng := &vmEngine{cpu: cpu, snap: cpu.Snapshot()}
+	if cfg.Engine == "tb" {
+		eng.tbe = tb.New(cpu, cfg.Obs)
+	}
+	return eng
 }
 
 // recordOutcomes mirrors a finished campaign's classification tallies
@@ -260,7 +279,7 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 	runCfg := attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Engine: cfg.Engine,
 	}
 
 	var img *image.Image
@@ -285,6 +304,9 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 		mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 		runCfg.CPU = eng.cpu
+		if eng.tbe != nil {
+			runCfg.Exec = eng.tbe
+		}
 		res := attack.RunWith(mctx, base, runCfg)
 		return classify(m, res, clean, guard)
 	default:

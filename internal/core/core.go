@@ -32,6 +32,13 @@ type Options struct {
 	// Workload drives profiling for AutoSelect (stdin given to the
 	// program). May be nil.
 	Workload []byte
+	// Engine selects the execution backend for emulation Protect
+	// itself performs (today: the AutoSelect profiling run). "" or
+	// "interp" run the interpreter; "tb" runs the translation-block
+	// engine (internal/emu/tb). Selection results are identical —
+	// the engines are differentially tested in lockstep — so this
+	// only trades profiling wall-clock.
+	Engine string
 
 	// PoolCopies replicates the fallback gadget pool; values below 1
 	// mean 2 (two copies give probabilistic generation room to vary).
@@ -149,7 +156,7 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 
 	verify := append([]string(nil), opts.VerifyFuncs...)
 	if opts.AutoSelect {
-		sel, err := SelectVerificationFunc(m, opts.Workload)
+		sel, err := selectVerificationFunc(m, opts.Workload, opts.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("core: auto-select: %w", err)
 		}

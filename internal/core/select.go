@@ -6,6 +6,7 @@ import (
 
 	"parallax/internal/codegen"
 	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
 	"parallax/internal/image"
 	"parallax/internal/ir"
 	"parallax/internal/ropc"
@@ -24,7 +25,13 @@ import (
 // Only chain-compilable functions (no calls, no syscalls, not the
 // entry) are considered.
 func SelectVerificationFunc(m *ir.Module, workload []byte) (string, error) {
-	report, err := ProfileModule(m, workload)
+	return selectVerificationFunc(m, workload, "")
+}
+
+// selectVerificationFunc is SelectVerificationFunc with an explicit
+// execution backend for the profile run (Options.Engine semantics).
+func selectVerificationFunc(m *ir.Module, workload []byte, engine string) (string, error) {
+	report, err := ProfileModuleEngine(m, workload, engine)
 	if err != nil {
 		return "", err
 	}
@@ -61,6 +68,15 @@ const SelectThreshold = 0.02
 // ProfileModule builds the module, runs it under the emulator with
 // per-address profiling, and aggregates per-function statistics.
 func ProfileModule(m *ir.Module, workload []byte) (*ProfileReport, error) {
+	return ProfileModuleEngine(m, workload, "")
+}
+
+// ProfileModuleEngine is ProfileModule with an explicit execution
+// backend: "" or "interp" run the interpreter, "tb" the
+// translation-block engine (internal/emu/tb), which replicates the
+// interpreter's per-address hit counting so the resulting profile is
+// identical — only the wall-clock differs.
+func ProfileModuleEngine(m *ir.Module, workload []byte, engine string) (*ProfileReport, error) {
 	img, err := codegen.Build(m, image.Layout{})
 	if err != nil {
 		return nil, err
@@ -71,8 +87,19 @@ func ProfileModule(m *ir.Module, workload []byte) (*ProfileReport, error) {
 	}
 	cpu.EnableProfile()
 	cpu.OS = emu.NewOS(workload)
-	if err := cpu.Run(); err != nil {
-		return nil, fmt.Errorf("core: profile run failed: %w", err)
+	var runErr error
+	switch engine {
+	case "", "interp":
+		runErr = cpu.Run()
+	case "tb":
+		eng := tb.New(cpu, nil)
+		runErr = eng.Run()
+		eng.Close()
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q (want interp or tb)", engine)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("core: profile run failed: %w", runErr)
 	}
 
 	report := &ProfileReport{

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"parallax/internal/core"
@@ -11,9 +12,11 @@ import (
 )
 
 // TestLockstepGenerated runs the gadget-biased generator batch in
-// lockstep and requires zero divergences. The full batch is the
-// ISSUE's 10k-program gate; -short runs a 500-program slice on the
-// same seed so the fast path still exercises every program class.
+// lockstep — interpreter, reference interpreter, and the
+// translation-block engine stepping three-way — and requires zero
+// divergences. The full batch is the ISSUE's 10k-program gate; -short
+// runs a 500-program slice on the same seed so the fast path still
+// exercises every program class.
 func TestLockstepGenerated(t *testing.T) {
 	n := 10000
 	if testing.Short() || raceEnabled {
@@ -23,7 +26,7 @@ func TestLockstepGenerated(t *testing.T) {
 	g := NewGenerator(1)
 	for i := 0; i < n; i++ {
 		p := g.Next()
-		res, err := RunProgram(p, Options{MaxInst: 1 << 16, Registry: reg})
+		res, err := RunProgram(p, Options{MaxInst: 1 << 16, Registry: reg, TB: true})
 		if err != nil {
 			t.Fatalf("program %s: harness error: %v", p.Name, err)
 		}
@@ -79,7 +82,7 @@ func TestLockstepCorpus(t *testing.T) {
 				if variant == "protected" {
 					img = prot.Image
 				}
-				res, err := Run(img, Options{MaxInst: 5_000_000, Stdin: p.Stdin})
+				res, err := Run(img, Options{MaxInst: 5_000_000, Stdin: p.Stdin, TB: true})
 				if err != nil {
 					t.Fatalf("%s: harness error: %v", variant, err)
 				}
@@ -97,6 +100,32 @@ func TestLockstepCorpus(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestLockstepTBUnalignedEntry pins the translation-block engine on
+// the generator's unaligned-entry class: structured programs re-entered
+// mid-instruction, where block boundaries never line up with the
+// assembler's and every translation starts at a skewed decode.
+func TestLockstepTBUnalignedEntry(t *testing.T) {
+	g := NewGenerator(7)
+	ran := 0
+	for i := 0; ran < 60 && i < 5000; i++ {
+		p := g.Next()
+		if !strings.HasSuffix(p.Name, "-unaligned") {
+			continue
+		}
+		ran++
+		res, err := RunProgram(p, Options{MaxInst: 1 << 16, TB: true})
+		if err != nil {
+			t.Fatalf("program %s: harness error: %v", p.Name, err)
+		}
+		if res.Div != nil {
+			t.Fatalf("program %s (entry+%d) diverged:\n%s", p.Name, p.EntryOff, res.Div)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("generator produced no unaligned-entry programs")
 	}
 }
 

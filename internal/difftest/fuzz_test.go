@@ -4,8 +4,9 @@ import (
 	"testing"
 )
 
-// FuzzLockstep feeds raw byte streams to both engines in lockstep.
-// Any divergence — register, flag, store, fault classification — is a
+// FuzzLockstep feeds raw byte streams to all three engines in
+// lockstep (interpreter, reference, translation-block). Any
+// divergence — register, flag, store, fault classification — is a
 // crash. The seed corpus in testdata/fuzz/FuzzLockstep pins the byte
 // patterns behind historical emulator bugs (RCR overflow flag,
 // 0x66-prefixed one-operand MUL/DIV forms, CBW/CWD, REP SCAS with
@@ -37,7 +38,7 @@ func FuzzLockstep(f *testing.F) {
 			Raw:      raw,
 			EntryOff: uint32(entry) % uint32(len(raw)),
 		}
-		res, err := RunProgram(p, Options{MaxInst: 1 << 14})
+		res, err := RunProgram(p, Options{MaxInst: 1 << 14, TB: true})
 		if err != nil {
 			t.Fatalf("harness error: %v", err)
 		}

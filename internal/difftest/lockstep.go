@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
 	"parallax/internal/image"
 	"parallax/internal/obs"
 	"parallax/internal/x86"
@@ -34,6 +35,13 @@ type Options struct {
 	// seed RCR overflow-flag bug. Test-only: it demonstrates the
 	// oracle catches the bug when the fix is (effectively) reverted.
 	LegacyRefRCROF bool
+
+	// TB adds the translation-block engine (internal/emu/tb) as a
+	// third lockstep participant: a separate CPU stepped through tb
+	// and compared against the interpreter after every instruction —
+	// EIP, GPRs, full EFLAGS, Icount/Cycles accounting, exit state,
+	// and (on clean exit) kernel output and all mapped memory.
+	TB bool
 }
 
 // DefaultMaxInst bounds one lockstep run.
@@ -90,6 +98,22 @@ func Run(img *image.Image, opts Options) (*Result, error) {
 	ref.OS = refOS
 	ref.legacyRCROF = opts.LegacyRefRCROF
 
+	// Third engine: a separate CPU stepped through the translation-block
+	// backend, held to interpreter-identical observable state.
+	var tbc *emu.CPU
+	var tbe *tb.Engine
+	var tbOS *emu.OS
+	if opts.TB {
+		tbc, err = emu.LoadImageWith(img, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tbOS = emu.NewOS(opts.Stdin)
+		tbc.OS = tbOS
+		tbe = tb.New(tbc, opts.Registry)
+		defer tbe.Close()
+	}
+
 	limit := opts.MaxInst
 	if limit == 0 {
 		limit = DefaultMaxInst
@@ -105,6 +129,18 @@ func Run(img *image.Image, opts Options) (*Result, error) {
 		res.Insts = fast.Icount
 
 		cf, cr := classify(errF), classify(errR)
+		if tbe != nil {
+			ct := classify(tbe.Step())
+			if ct != cf {
+				res.Div = divergeTB(fast, tbc, res.Insts, pc, instStr, "tb-error",
+					fmt.Sprintf("fast stopped with %q, tb with %q", cf, ct))
+				break
+			}
+			if d := compareTB(fast, tbc, res.Insts, pc, instStr); d != nil {
+				res.Div = d
+				break
+			}
+		}
 		if cf != cr {
 			res.Div = diverge(fast, ref, res.Insts, pc, instStr, "error",
 				fmt.Sprintf("fast stopped with %q, ref with %q", cf, cr))
@@ -127,6 +163,9 @@ func Run(img *image.Image, opts Options) (*Result, error) {
 		res.Exited = true
 		res.Status = fast.Status
 		res.Div = compareFinal(fast, ref, fastOS, refOS, img, opts, res.Insts)
+	}
+	if res.Div == nil && tbc != nil && fast.Exited {
+		res.Div = compareTBFinal(fast, tbc, fastOS, tbOS, img, opts, res.Insts)
 	}
 
 	opts.Registry.Counter("difftest.insts").Add(res.Insts)
@@ -277,6 +316,94 @@ func compareFinal(fast *emu.CPU, ref *RefCPU, fastOS, refOS *emu.OS,
 		}
 	}
 	return nil
+}
+
+// compareTB checks the translation-block engine's CPU against the
+// interpreter's after one lockstep step. Both are emu.CPUs, so the
+// comparison is stricter than the reference one: deterministic
+// instruction and cycle accounting must match too.
+func compareTB(fast, tbc *emu.CPU, step uint64, pc uint32, instStr string) *Divergence {
+	if fast.EIP != tbc.EIP {
+		return divergeTB(fast, tbc, step, pc, instStr, "tb-eip",
+			fmt.Sprintf("eip %#x vs %#x", fast.EIP, tbc.EIP))
+	}
+	for r := x86.Reg(0); r < x86.NumRegs; r++ {
+		if fast.Reg[r] != tbc.Reg[r] {
+			return divergeTB(fast, tbc, step, pc, instStr, "tb-reg",
+				fmt.Sprintf("%s %#x vs %#x", r, fast.Reg[r], tbc.Reg[r]))
+		}
+	}
+	if fast.Flags() != tbc.Flags() {
+		return divergeTB(fast, tbc, step, pc, instStr, "tb-flags",
+			fmt.Sprintf("eflags %#x vs %#x (%s vs %s)",
+				fast.Flags(), tbc.Flags(), flagString(fast.Flags()), flagString(tbc.Flags())))
+	}
+	if fast.Icount != tbc.Icount || fast.Cycles != tbc.Cycles {
+		return divergeTB(fast, tbc, step, pc, instStr, "tb-count",
+			fmt.Sprintf("icount %d/%d vs cycles %d/%d",
+				fast.Icount, tbc.Icount, fast.Cycles, tbc.Cycles))
+	}
+	if fast.Exited != tbc.Exited || (fast.Exited && fast.Status != tbc.Status) {
+		return divergeTB(fast, tbc, step, pc, instStr, "tb-exit",
+			fmt.Sprintf("exited=%t/%d vs %t/%d", fast.Exited, fast.Status, tbc.Exited, tbc.Status))
+	}
+	return nil
+}
+
+// compareTBFinal checks kernel output and all mapped memory between the
+// interpreter and the tb engine after a clean exit.
+func compareTBFinal(fast, tbc *emu.CPU, fastOS, tbOS *emu.OS,
+	img *image.Image, opts Options, step uint64) *Divergence {
+	if !bytes.Equal(fastOS.Stdout.Bytes(), tbOS.Stdout.Bytes()) {
+		return divergeTB(fast, tbc, step, fast.EIP, "", "tb-stdout",
+			fmt.Sprintf("stdout %q vs %q", fastOS.Stdout.Bytes(), tbOS.Stdout.Bytes()))
+	}
+	if !bytes.Equal(fastOS.Stderr.Bytes(), tbOS.Stderr.Bytes()) {
+		return divergeTB(fast, tbc, step, fast.EIP, "", "tb-stderr",
+			fmt.Sprintf("stderr %q vs %q", fastOS.Stderr.Bytes(), tbOS.Stderr.Bytes()))
+	}
+	ranges := make([][2]uint32, 0, len(img.Sections)+1)
+	for _, s := range img.Sections {
+		ranges = append(ranges, [2]uint32{s.Addr, s.Size})
+	}
+	stackSize := opts.StackSize
+	if stackSize == 0 {
+		stackSize = emu.DefaultStackSize
+	}
+	ranges = append(ranges, [2]uint32{emu.DefaultStackTop - stackSize, stackSize})
+	for _, rg := range ranges {
+		const chunk = 1 << 16
+		for off := uint32(0); off < rg[1]; off += chunk {
+			n := rg[1] - off
+			if n > chunk {
+				n = chunk
+			}
+			fb, errF := fast.Mem.Peek(rg[0]+off, n)
+			tbb, errT := tbc.Mem.Peek(rg[0]+off, n)
+			if errF != nil || errT != nil {
+				continue
+			}
+			if !bytes.Equal(fb, tbb) {
+				i := 0
+				for fb[i] == tbb[i] {
+					i++
+				}
+				addr := rg[0] + off + uint32(i)
+				return divergeTB(fast, tbc, step, fast.EIP, "", "tb-memory",
+					fmt.Sprintf("byte at %#x: %#x vs %#x", addr, fb[i], tbb[i]))
+			}
+		}
+	}
+	return nil
+}
+
+func divergeTB(fast, tbc *emu.CPU, step uint64, pc uint32,
+	instStr, kind, detail string) *Divergence {
+	return &Divergence{
+		Step: step, PC: pc, Inst: instStr, Kind: kind, Detail: detail,
+		Fast: fast.String(),
+		Ref:  tbc.String(),
+	}
 }
 
 func diverge(fast *emu.CPU, ref *RefCPU, step uint64, pc uint32,

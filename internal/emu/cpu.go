@@ -115,7 +115,20 @@ const DefaultMaxInst = 500_000_000
 
 // New returns a CPU over an empty address space.
 func New() *CPU {
-	return &CPU{Mem: NewMemory(), decodeCache: make(map[uint32]x86.Inst)}
+	c := &CPU{Mem: NewMemory(), decodeCache: make(map[uint32]x86.Inst)}
+	// The decode cache is an ordinary code-invalidation consumer: any
+	// mutation of executable bytes (store, Poke, Patch, Restore page
+	// copy-back) evicts exactly the decodes whose windows can overlap
+	// the modified range. Overlay state is CPU-local and handled by
+	// codeVersion instead.
+	c.Mem.OnCodeInvalidate(c.onCodeInvalidate)
+	return c
+}
+
+// onCodeInvalidate is the CPU's hook on the memory bus: executable
+// bytes in [lo, hi) changed, so cached decodes overlapping them die.
+func (c *CPU) onCodeInvalidate(lo, hi uint32) {
+	c.evictDecodes(lo, hi-lo)
 }
 
 // LoadImage maps every section of img and a stack, and prepares the CPU
@@ -161,16 +174,17 @@ func (c *CPU) InvalidateCode() { c.codeVersion++ }
 // therefore the fetch window size.
 const maxInstLen = 15
 
-// fetchWindow returns up to 15 instruction bytes at addr as seen by
+// fetchWindowAt returns up to 15 instruction bytes at addr as seen by
 // the fetch unit (overlay first, then memory). Bytes are stitched
 // across contiguous executable segments, so an instruction straddling
 // a segment boundary decodes from its full encoding. missing is the
 // first address past the stitched bytes — the fault address when the
-// window proves too short to hold the instruction.
-func (c *CPU) fetchWindow(addr uint32) (window []byte, missing uint32, err error) {
+// window proves too short to hold the instruction. eip attributes any
+// fault.
+func (c *CPU) fetchWindowAt(addr, eip uint32) (window []byte, missing uint32, err error) {
 	// Permission check on the first byte classifies the common faults
 	// (unmapped EIP, jump into non-executable data).
-	if _, err := c.Mem.check(addr, 1, AccessFetch, c.EIP); err != nil {
+	if _, err := c.Mem.check(addr, 1, AccessFetch, eip); err != nil {
 		return nil, addr, err
 	}
 	window = make([]byte, 0, maxInstLen)
@@ -199,64 +213,75 @@ func (c *CPU) fetchWindow(addr uint32) (window []byte, missing uint32, err error
 }
 
 // decode returns the instruction at EIP, consulting the decode cache.
-// The cache is keyed on both the CPU's own code version (overlay state,
-// explicit invalidation) and the memory bus's code epoch, which every
-// store into an executable segment advances — so a program patching
-// its own upcoming instructions executes the new bytes, not a stale
-// decode.
+// Memory-path coherence is event-driven: every mutation of executable
+// bytes notifies the CPU's code-invalidation hook, which evicts the
+// overlapping decodes. The version check below covers only CPU-local
+// fetch state — overlay arm/disarm and explicit InvalidateCode — which
+// shadows arbitrary addresses and therefore flushes wholesale.
 func (c *CPU) decode() (x86.Inst, error) {
-	if want := c.codeVersion + c.Mem.codeEpoch; c.cacheVer != want {
+	if c.cacheVer != c.codeVersion {
 		c.decodeCache = make(map[uint32]x86.Inst)
-		c.cacheVer = want
+		c.cacheVer = c.codeVersion
 	}
 	if inst, ok := c.decodeCache[c.EIP]; ok {
 		return inst, nil
 	}
-	window, missing, err := c.fetchWindow(c.EIP)
+	inst, err := c.decodeAt(c.EIP)
 	if err != nil {
 		return x86.Inst{}, err
-	}
-	inst, err := x86.Decode(window, c.EIP)
-	if err != nil {
-		if errors.Is(err, x86.ErrTruncated) && len(window) < maxInstLen {
-			// The instruction ran off the end of mapped executable
-			// memory: that is a fetch fault at the first absent byte,
-			// not a decode error in the bytes we do have.
-			_, ferr := c.Mem.check(missing, 1, AccessFetch, c.EIP)
-			if ferr != nil {
-				return x86.Inst{}, ferr
-			}
-		}
-		return x86.Inst{}, &DecodeFault{EIP: c.EIP, Err: err}
 	}
 	c.decodeCache[c.EIP] = inst
 	return inst, nil
 }
 
-// Patch pokes bytes into memory (permissions ignored, like Mem.Poke)
-// but evicts only the cached decodes whose windows can overlap the
-// patched range, instead of letting the code-epoch bump flush the
-// whole cache on the next decode. A warm campaign worker patching one
-// mutation site per run keeps every other decode it has accumulated.
-func (c *CPU) Patch(addr uint32, b []byte) error {
-	inSync := c.cacheVer == c.codeVersion+c.Mem.codeEpoch
-	if err := c.Mem.Poke(addr, b); err != nil {
-		return err
+// decodeAt decodes the instruction at addr without consulting or
+// filling the decode cache. Fault errors attribute to addr as the
+// fetching EIP.
+func (c *CPU) decodeAt(addr uint32) (x86.Inst, error) {
+	window, missing, err := c.fetchWindowAt(addr, addr)
+	if err != nil {
+		return x86.Inst{}, err
 	}
-	if !inSync {
-		// A full flush is already pending; nothing to preserve.
-		return nil
+	inst, err := x86.Decode(window, addr)
+	if err != nil {
+		if errors.Is(err, x86.ErrTruncated) && len(window) < maxInstLen {
+			// The instruction ran off the end of mapped executable
+			// memory: that is a fetch fault at the first absent byte,
+			// not a decode error in the bytes we do have.
+			_, ferr := c.Mem.check(missing, 1, AccessFetch, addr)
+			if ferr != nil {
+				return x86.Inst{}, ferr
+			}
+		}
+		return x86.Inst{}, &DecodeFault{EIP: addr, Err: err}
 	}
-	c.evictDecodes(addr, uint32(len(b)))
-	c.cacheVer = c.codeVersion + c.Mem.codeEpoch
-	return nil
+	return inst, nil
 }
+
+// Patch pokes bytes into memory (permissions ignored, like Mem.Poke).
+// The code-invalidation bus carries the modified range to every
+// consumer — this CPU's decode cache evicts only the entries whose
+// windows can overlap the patched bytes, so a warm campaign worker
+// patching one mutation site per run keeps every other decode (and any
+// attached translation engine keeps its unaffected blocks).
+func (c *CPU) Patch(addr uint32, b []byte) error {
+	return c.Mem.Poke(addr, b)
+}
+
+// evictDecodeAll is the range size beyond which per-byte eviction
+// costs more than rebuilding the cache; evictDecodes flushes wholesale
+// instead.
+const evictDecodeAll = 1 << 15
 
 // evictDecodes drops cached decodes that may include any byte of
 // [addr, addr+n): an x86 instruction is at most maxInstLen bytes, so
 // entries starting up to maxInstLen-1 bytes before the range can
 // straddle into it.
 func (c *CPU) evictDecodes(addr, n uint32) {
+	if n >= evictDecodeAll {
+		clear(c.decodeCache)
+		return
+	}
 	lo := uint32(0)
 	if addr >= maxInstLen-1 {
 		lo = addr - (maxInstLen - 1)

@@ -109,11 +109,58 @@ type Memory struct {
 	mapped uint64
 
 	// codeEpoch counts modifications of executable bytes: any store or
-	// Poke that lands in a PermX segment bumps it, and the CPU's decode
-	// cache keys on it. This is what keeps the cache coherent under
-	// self-modifying writes that go through the ordinary store path —
-	// no explicit InvalidateCode call required.
+	// Poke that lands in a PermX segment bumps it. It is kept as a cheap
+	// coherence probe (CodeEpoch), but consumers that cache decoded or
+	// translated code register an OnCodeInvalidate hook instead and
+	// receive the exact modified range.
 	codeEpoch uint64
+
+	// onInval is the code-invalidation bus: every mutation of executable
+	// bytes — stores, Poke, CPU.Patch, Restore copying baseline pages
+	// back — notifies each registered hook with the affected range.
+	onInval  []codeInvalHook
+	invalSeq uint64
+}
+
+// codeInvalHook is one registered code-invalidation callback.
+type codeInvalHook struct {
+	id uint64
+	fn func(lo, hi uint32)
+}
+
+// OnCodeInvalidate registers fn to be called whenever executable bytes
+// in some range [lo, hi) are modified, through any path: ordinary
+// stores into a PermX segment, Poke, CPU.Patch, or CPU.Restore copying
+// snapshot baselines back over a dirtied executable page. Consumers
+// that cache anything derived from code bytes (decoded instructions,
+// translated blocks) register here and evict precisely instead of
+// hardcoding calls into each mutation site.
+//
+// The returned cancel function unregisters fn; after cancel returns,
+// the hook is never invoked again (including by later Snapshot/Restore
+// cycles). Hooks run synchronously on the mutating goroutine and must
+// not mutate memory themselves.
+func (m *Memory) OnCodeInvalidate(fn func(lo, hi uint32)) (cancel func()) {
+	m.invalSeq++
+	id := m.invalSeq
+	m.onInval = append(m.onInval, codeInvalHook{id: id, fn: fn})
+	return func() {
+		for i := range m.onInval {
+			if m.onInval[i].id == id {
+				m.onInval = append(m.onInval[:i], m.onInval[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// notifyCodeInvalidate advances the code epoch and fans the modified
+// range out to every registered hook.
+func (m *Memory) notifyCodeInvalidate(lo, hi uint32) {
+	m.codeEpoch++
+	for i := range m.onInval {
+		m.onInval[i].fn(lo, hi)
+	}
 }
 
 // CodeEpoch returns the executable-byte modification counter. Decode
@@ -201,11 +248,11 @@ func (m *Memory) check(addr uint32, n uint32, access Access, eip uint32) ([]byte
 	if access == AccessWrite {
 		// The caller is about to mutate the returned slice: record the
 		// touched pages for Restore and, when the segment is executable
-		// (a self-modifying program writing its own code), retire every
-		// decode cached from the old bytes.
+		// (a self-modifying program writing its own code), tell every
+		// invalidation hook which code bytes are about to change.
 		s.markDirty(off, n)
 		if s.Perm&image.PermX != 0 {
-			m.codeEpoch++
+			m.notifyCodeInvalidate(addr, addr+n)
 		}
 	}
 	return s.Data[off : off+n], nil
@@ -282,11 +329,12 @@ func (m *Memory) Store8(addr uint32, v uint8, eip uint32) error {
 // binary on disk. Returns an error only for unmapped addresses.
 func (m *Memory) Poke(addr uint32, b []byte) error {
 	touchedCode := false
-	// The epoch must advance even when a later byte faults: the bytes
-	// already written stay written.
+	var codeLo, codeHi uint32
+	// The invalidation must fire even when a later byte faults: the
+	// bytes already written stay written.
 	defer func() {
 		if touchedCode {
-			m.codeEpoch++
+			m.notifyCodeInvalidate(codeLo, codeHi)
 		}
 	}()
 	for i, v := range b {
@@ -298,7 +346,13 @@ func (m *Memory) Poke(addr uint32, b []byte) error {
 		off := a - s.Addr
 		s.Data[off] = v
 		s.markDirty(off, 1)
-		touchedCode = touchedCode || s.Perm&image.PermX != 0
+		if s.Perm&image.PermX != 0 {
+			if !touchedCode {
+				codeLo = a
+			}
+			touchedCode = true
+			codeHi = a + 1
+		}
 	}
 	return nil
 }

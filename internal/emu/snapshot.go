@@ -85,19 +85,16 @@ func (c *CPU) Snapshot() *Snapshot {
 
 // Restore rewinds the CPU to the snapshot point: every dirty page is
 // copied back from the baseline, the dirty bitmaps are cleared, and
-// register/flag/counter/exit state is reset. Decodes cached from
-// dirtied executable pages are evicted individually (they describe the
-// mutated bytes, not the restored ones); the rest of the cache
-// survives, so warm runs keep their decodes outside the pages the
-// previous run touched.
+// register/flag/counter/exit state is reset. Each restored executable
+// page is announced on the memory bus's code-invalidation hook, so
+// every consumer — this CPU's decode cache, any attached translation
+// engine — evicts exactly what the copy-back rewrote (those entries
+// describe the mutated bytes, not the restored ones) and keeps the
+// rest warm across mutants.
 //
 // The snapshot must have been taken from this CPU.
 func (c *CPU) Restore(s *Snapshot) RestoreStats {
 	var st RestoreStats
-	// Targeted eviction is only sound while the cache agrees with the
-	// current code version: if a flush is already pending, every entry
-	// dies on the next decode anyway.
-	inSync := c.cacheVer == c.codeVersion+c.Mem.codeEpoch
 	for _, sb := range s.segs {
 		seg := sb.seg
 		size := uint32(len(seg.Data))
@@ -120,9 +117,7 @@ func (c *CPU) Restore(s *Snapshot) RestoreStats {
 				st.DirtyPages++
 				if exec {
 					st.CodeDirty = true
-					if inSync {
-						c.evictDecodes(seg.Addr+lo, hi-lo)
-					}
+					c.Mem.notifyCodeInvalidate(seg.Addr+lo, seg.Addr+hi)
 				}
 			}
 			seg.dirty[w] = 0
@@ -135,10 +130,10 @@ func (c *CPU) Restore(s *Snapshot) RestoreStats {
 	c.Cycles = s.cycles
 	c.Exited = s.exited
 	c.Status = s.status
-	// The restore wrote original bytes back over whatever the run left
-	// behind, invisibly to the code epoch — the per-page evictions above
-	// already retired decodes of the dead bytes. Restoring the overlay
-	// still costs a full flush (overlay bytes shadow arbitrary fetches).
+	// The restore announced every rewritten executable page on the
+	// invalidation bus above, which retired decodes and translations of
+	// the dead bytes. Restoring the overlay still costs a full flush
+	// (overlay bytes shadow arbitrary fetches).
 	if c.overlay != nil || s.overlay != nil {
 		c.overlay = nil
 		if s.overlay != nil {

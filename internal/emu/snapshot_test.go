@@ -198,8 +198,8 @@ func TestSnapshotRestoreDataOnly(t *testing.T) {
 			c.Status, c.Icount, firstIcount)
 	}
 	// The replay must not have rebuilt the cache: same version keys.
-	if c.cacheVer != c.codeVersion+c.Mem.codeEpoch {
-		t.Errorf("cacheVer = %d, want %d", c.cacheVer, c.codeVersion+c.Mem.codeEpoch)
+	if c.cacheVer != c.codeVersion {
+		t.Errorf("cacheVer = %d, want %d", c.cacheVer, c.codeVersion)
 	}
 }
 
@@ -288,7 +288,7 @@ func TestPatchKeepsWarmDecodes(t *testing.T) {
 	if got := len(c.decodeCache); got == 0 || warm-got > 3 {
 		t.Errorf("decode cache %d -> %d entries after Patch, want targeted eviction of at most 3", warm, got)
 	}
-	if c.cacheVer != c.codeVersion+c.Mem.codeEpoch {
+	if c.cacheVer != c.codeVersion {
 		t.Error("Patch left a full cache flush pending")
 	}
 	if err := c.Run(); err != nil {

@@ -1,0 +1,139 @@
+package tb
+
+// Lazy condition codes. Instead of computing all six arithmetic flags
+// after every ALU op (the interpreter's addFlags/subFlags/logicFlags),
+// the engine records what the last flag-producing op *was* — its kind,
+// operands and result — and derives individual flags only when a
+// consumer asks. Most flags die unread: the common consumers (JCC
+// after CMP/TEST, loop counters) read one or two bits, and AF/PF
+// almost never. materialize() folds the pending state into the CPU's
+// boolean flags whenever full EFLAGS must be architectural: before a
+// fallback instruction, on every public entry/exit of the engine, and
+// before any error returns.
+//
+// The formulas mirror internal/emu/exec.go's addFlags/subFlags/
+// logicFlags/execShift for w=32 exactly — the only width the engine
+// specializes.
+
+// ccKind identifies the producing operation.
+type ccKind uint8
+
+const (
+	ccNone ccKind = iota // no pending state; CPU flags are current
+	ccAdd                // res = dst + src
+	ccSub                // res = dst - src (also CMP, NEG with dst=0)
+	ccLogic              // AND/OR/XOR/TEST: CF=OF=AF=0
+	ccInc                // res = dst + 1, CF preserved in saved
+	ccDec                // res = dst - 1, CF preserved in saved
+	ccShl                // res = dst << src (src in 1..31), AF preserved
+	ccShr                // res = dst >> src (logical), AF preserved
+	ccSar                // res = dst >> src (arithmetic), AF preserved
+)
+
+// ccState is the deferred flag computation: the last producer's
+// operands and result. saved carries the one flag the producer
+// preserves rather than defines (CF for INC/DEC, AF for shifts),
+// captured lazily from the previous state at production time.
+type ccState struct {
+	kind  ccKind
+	dst   uint32 // left operand (shift: value before shifting)
+	src   uint32 // right operand (shift: masked count, 1..31)
+	res   uint32 // 32-bit result
+	saved bool
+}
+
+func parity8(v uint32) bool {
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 0
+}
+
+// materialize folds any pending flag state into the CPU's boolean
+// flags and clears it. After it returns, CPU.Flags() is architectural.
+func (e *Engine) materialize() {
+	cc := &e.cc
+	if cc.kind == ccNone {
+		return
+	}
+	c := e.cpu
+	dst, src, res := cc.dst, cc.src, cc.res
+	switch cc.kind {
+	case ccAdd:
+		c.CF = res < dst
+		c.OF = (^(dst^src)&(dst^res))>>31 != 0
+		c.AF = (dst^src^res)&0x10 != 0
+	case ccSub:
+		c.CF = dst < src
+		c.OF = ((dst^src)&(dst^res))>>31 != 0
+		c.AF = (dst^src^res)&0x10 != 0
+	case ccLogic:
+		c.CF, c.OF, c.AF = false, false, false
+	case ccInc:
+		c.CF = cc.saved
+		c.OF = (^(dst^1)&(dst^res))>>31 != 0
+		c.AF = (dst^1^res)&0x10 != 0
+	case ccDec:
+		c.CF = cc.saved
+		c.OF = ((dst^1)&(dst^res))>>31 != 0
+		c.AF = (dst^1^res)&0x10 != 0
+	case ccShl:
+		c.CF = dst&(1<<(32-src)) != 0
+		c.OF = (res>>31 != 0) != c.CF
+		c.AF = cc.saved
+	case ccShr:
+		c.CF = dst&(1<<(src-1)) != 0
+		c.OF = dst>>31 != 0
+		c.AF = cc.saved
+	case ccSar:
+		c.CF = (dst>>(src-1))&1 != 0
+		c.OF = false
+		c.AF = cc.saved
+	}
+	c.ZF = res == 0
+	c.SF = res>>31 != 0
+	c.PF = parity8(res)
+	cc.kind = ccNone
+}
+
+// lazyCF reads the carry flag without materializing: INC/DEC preserve
+// the incoming CF, so their producers call this to capture it.
+func (e *Engine) lazyCF() bool {
+	cc := &e.cc
+	switch cc.kind {
+	case ccNone:
+		return e.cpu.CF
+	case ccAdd:
+		return cc.res < cc.dst
+	case ccSub:
+		return cc.dst < cc.src
+	case ccLogic:
+		return false
+	case ccInc, ccDec:
+		return cc.saved
+	case ccShl:
+		return cc.dst&(1<<(32-cc.src)) != 0
+	case ccShr:
+		return cc.dst&(1<<(cc.src-1)) != 0
+	default: // ccSar
+		return (cc.dst>>(cc.src-1))&1 != 0
+	}
+}
+
+// lazyAF reads the adjust flag without materializing: shifts preserve
+// the incoming AF, so their producers call this to capture it.
+func (e *Engine) lazyAF() bool {
+	cc := &e.cc
+	switch cc.kind {
+	case ccNone:
+		return e.cpu.AF
+	case ccAdd, ccSub:
+		return (cc.dst^cc.src^cc.res)&0x10 != 0
+	case ccLogic:
+		return false
+	case ccInc, ccDec:
+		return (cc.dst^1^cc.res)&0x10 != 0
+	default: // ccShl, ccShr, ccSar preserve AF
+		return cc.saved
+	}
+}

@@ -1,0 +1,265 @@
+// Package tb is the translation-block execution engine: a
+// QEMU-TCG-style backend over the emu CPU that decodes each basic
+// block once, compiles it into a threaded slice of micro-ops, and
+// executes whole blocks at a time with lazy flag materialization —
+// the (ccOp, ccSrc, ccDst) triple of the last flag-producing
+// instruction is carried forward and EFLAGS (including AF/PF) are
+// computed only when a consumer instruction, a block exit to the
+// caller, or an error path actually reads them.
+//
+// Direct jumps, conditional branches and direct calls chain block to
+// block without a dispatch-table lookup. Coherence rides the memory
+// bus's code-invalidation hooks (Memory.OnCodeInvalidate): stores into
+// executable segments, Poke, CPU.Patch and Restore page copy-back all
+// announce the modified range, and every overlapping translation dies
+// before the next op executes — self-modifying code runs its new
+// bytes, mid-block, exactly as it does under the interpreter.
+//
+// Instructions without a specialized micro-op fall back, one by one,
+// through CPU.ExecInst into the interpreter core after materializing
+// flags, so the engine cannot drift from interpreter semantics on
+// anything it does not model natively. The lockstep oracle in
+// internal/difftest drives Step() to hold it to that claim.
+//
+// An Engine is not safe for concurrent use; like the CPU it drives,
+// it belongs to one goroutine.
+package tb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"parallax/internal/emu"
+	"parallax/internal/obs"
+)
+
+// block is one translated basic block: the micro-ops for a straight
+// run of instructions starting at entry, ending at the first control
+// transfer (or the op cap, or the first undecodable byte).
+type block struct {
+	entry  uint32
+	end    uint32 // address after the last instruction (jcc fallthrough)
+	lo, hi uint32 // code byte range covered; invalidation keys on it
+	ops    []uop
+
+	// succ chains direct control transfers: [0] is the fallthrough /
+	// unconditional target, [1] the taken branch target. Filled lazily
+	// on first transfer once the successor exists.
+	succ [2]*block
+
+	// dead marks the block invalidated (its source bytes changed). The
+	// executor checks it after every op so a store into upcoming code
+	// aborts the block and retranslates — and chained pointers to it
+	// are abandoned on sight.
+	dead bool
+}
+
+// Engine executes a CPU through translated blocks.
+type Engine struct {
+	cpu    *emu.CPU
+	blocks map[uint32]*block
+	cc     ccState
+	cpuVer uint64 // CPU.CodeVersion at last wholesale flush
+	cancel func() // unregisters the code-invalidation hook
+
+	// Step cursor: position inside the block being single-stepped.
+	curB *block
+	curI int
+
+	// Single-entry segment caches for the dword fast paths (data
+	// loads, data stores, stack traffic). Only segments whose
+	// permissions make the access legal and side-effect-free are ever
+	// cached — see the fast-path comment in exec.go.
+	rd, wr, stk *emu.Segment
+
+	mTranslations  *obs.Counter
+	mChainHits     *obs.Counter
+	mInvalidations *obs.Counter
+	mBlockLen      *obs.Histogram
+}
+
+// New attaches a translation engine to cpu, registering it on the
+// memory bus's code-invalidation hook. reg (which may be nil) receives
+// the engine's metrics: emu.tb.translations, emu.tb.chain_hits,
+// emu.tb.invalidations and the emu.tb.block_len histogram. Call Close
+// when done so the hook does not outlive the engine.
+func New(cpu *emu.CPU, reg *obs.Registry) *Engine {
+	e := &Engine{
+		cpu:            cpu,
+		blocks:         make(map[uint32]*block),
+		cpuVer:         cpu.CodeVersion(),
+		mTranslations:  reg.Counter("emu.tb.translations"),
+		mChainHits:     reg.Counter("emu.tb.chain_hits"),
+		mInvalidations: reg.Counter("emu.tb.invalidations"),
+		mBlockLen:      reg.Histogram("emu.tb.block_len"),
+	}
+	e.cancel = cpu.Mem.OnCodeInvalidate(e.invalidate)
+	return e
+}
+
+// Close unregisters the engine from the invalidation bus and drops its
+// translations. The CPU remains usable (including by the interpreter).
+func (e *Engine) Close() {
+	if e.cancel != nil {
+		e.cancel()
+		e.cancel = nil
+	}
+	// Teardown is not a coherence event: the invalidation counter
+	// tracks translations killed by code mutation, not lifecycle.
+	e.flushAll(false)
+}
+
+// CPU returns the CPU the engine drives.
+func (e *Engine) CPU() *emu.CPU { return e.cpu }
+
+// invalidate is the Memory.OnCodeInvalidate hook: executable bytes in
+// [lo, hi) changed, so every translation overlapping the range dies.
+func (e *Engine) invalidate(lo, hi uint32) {
+	for pc, b := range e.blocks {
+		if b.lo < hi && lo < b.hi {
+			b.dead = true
+			delete(e.blocks, pc)
+			e.mInvalidations.Inc()
+		}
+	}
+}
+
+// flushAll retires every translation (overlay state changed, or the
+// engine is closing). count says whether the flush is a coherence
+// event that belongs in the invalidation counter.
+func (e *Engine) flushAll(count bool) {
+	n := uint64(len(e.blocks))
+	for _, b := range e.blocks {
+		b.dead = true
+	}
+	e.blocks = make(map[uint32]*block)
+	e.curB = nil
+	if count {
+		e.mInvalidations.Add(n)
+	}
+}
+
+// lookup returns a live block starting at pc, translating one if
+// needed. The error is the same fetch/decode fault the interpreter's
+// own Step would report at pc.
+func (e *Engine) lookup(pc uint32) (*block, error) {
+	if cv := e.cpu.CodeVersion(); cv != e.cpuVer {
+		// Overlay arm/disarm or InvalidateCode: fetches may now see
+		// different bytes anywhere, so nothing translated survives.
+		e.flushAll(true)
+		e.cpuVer = cv
+	}
+	if b, ok := e.blocks[pc]; ok {
+		return b, nil
+	}
+	return e.translate(pc)
+}
+
+// errBudget is execBlock's internal stop marker: the instruction
+// budget was reached before the next op. Run formats it into the
+// interpreter's ErrInstLimit error; Step treats it as a completed
+// single step.
+var errBudget = errors.New("tb: instruction budget reached")
+
+func instLimitErr(c *emu.CPU) error {
+	return fmt.Errorf("%w (%d instructions, eip=%#x)", emu.ErrInstLimit, c.Icount, c.EIP)
+}
+
+// Run executes until the program exits, faults, or hits the
+// instruction budget — the engine's equivalent of CPU.Run.
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext is Run with a cancellation/deadline watchdog, polled
+// every CheckStride instructions at block granularity — the engine's
+// equivalent of CPU.RunContext, returning the same error types.
+func (e *Engine) RunContext(ctx context.Context) error {
+	c := e.cpu
+	defer e.materialize()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	limit := c.MaxInst
+	if limit == 0 {
+		limit = emu.DefaultMaxInst
+	}
+	stride := c.CheckStride
+	if stride == 0 {
+		stride = emu.DefaultCheckStride
+	}
+	if err := ctx.Err(); err != nil {
+		return &emu.DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
+	}
+	next := c.Icount + stride
+	for !c.Exited {
+		if c.Icount >= limit {
+			return instLimitErr(c)
+		}
+		if c.Icount >= next {
+			if err := ctx.Err(); err != nil {
+				return &emu.DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
+			}
+			next = c.Icount + stride
+		}
+		b, err := e.lookup(c.EIP)
+		if err != nil {
+			return err
+		}
+		// Inner chain loop: follow block-to-block successors without
+		// touching the dispatch map until the next poll boundary.
+		// execChain consumes chained edges internally; this loop only
+		// turns over when a chain edge is still unlinked.
+		for b != nil && c.Icount < next {
+			nb, err := e.execChain(b, limit, next)
+			if err == errBudget {
+				return instLimitErr(c)
+			}
+			if err != nil {
+				return err
+			}
+			if c.Exited {
+				return nil
+			}
+			b = nb
+		}
+	}
+	return nil
+}
+
+// Step retires exactly one instruction, with the interpreter's exact
+// observable semantics (Icount, EIP, flags, trace events) — the
+// lockstep oracle's entry point. Flags are materialized before Step
+// returns, so CPU.Flags() is always valid between steps.
+func (e *Engine) Step() error {
+	c := e.cpu
+	if c.Exited {
+		return nil
+	}
+	defer e.materialize()
+	b, i := e.curB, e.curI
+	if b == nil || b.dead || i >= len(b.ops) || b.ops[i].pc != c.EIP ||
+		e.cpuVer != c.CodeVersion() {
+		var err error
+		b, err = e.lookup(c.EIP)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+	nb, err := e.execBlock(b, i, c.Icount+1)
+	switch {
+	case err == errBudget:
+		// One op retired, stopped before the next: cursor advances.
+		e.curB, e.curI = b, i+1
+		return nil
+	case err != nil:
+		e.curB = nil
+		return err
+	case nb != nil:
+		e.curB, e.curI = nb, 0
+		return nil
+	default:
+		e.curB = nil
+		return nil
+	}
+}

@@ -1,0 +1,171 @@
+package tb_test
+
+import (
+	"errors"
+	"testing"
+
+	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
+	"parallax/internal/image"
+	"parallax/internal/obs"
+)
+
+const testBase = 0x08048000
+
+// loadWX maps code as a writable+executable image (self-modifying test
+// programs) and returns a loaded CPU.
+func loadWX(t *testing.T, code []byte) *emu.CPU {
+	t.Helper()
+	padded := make([]byte, 0x1000)
+	copy(padded, code)
+	img := &image.Image{
+		Entry: testBase,
+		Sections: []*image.Section{
+			{Name: ".text", Addr: testBase, Data: padded,
+				Size: uint32(len(padded)), Perm: image.PermR | image.PermW | image.PermX},
+		},
+	}
+	c, err := emu.LoadImageWith(img, emu.LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// chainedPatchProgram loops three times through a direct jump whose
+// target block it patches mid-run:
+//
+//	        mov ecx, 3
+//	loop:   jmp body            ; chains loop -> body on iteration 1
+//	body:   mov eax, 0x11111111 ; imm at base+0x08 is the patch target
+//	        add esi, eax
+//	        dec ecx
+//	        jz done
+//	        mov dword [base+0x08], 0x22222222
+//	        jmp loop
+//	done:   ret
+//
+// Iteration 1 adds 0x11111111 and patches; iterations 2 and 3 must
+// execute the patched immediate, so ESI ends at 0x55555555. A stale
+// translation reached through the already-established chain would give
+// 0x33333333 instead.
+var chainedPatchProgram = []byte{
+	0xB9, 0x03, 0x00, 0x00, 0x00, // 00: mov ecx,3
+	0xEB, 0x00, // 05: jmp body
+	0xB8, 0x11, 0x11, 0x11, 0x11, // 07: body: mov eax,0x11111111
+	0x01, 0xC6, // 0c: add esi,eax
+	0x49,       // 0e: dec ecx
+	0x74, 0x0C, // 0f: jz done
+	0xC7, 0x05, 0x08, 0x80, 0x04, 0x08, 0x22, 0x22, 0x22, 0x22, // 11: mov [base+8],0x22222222
+	0xEB, 0xE8, // 1b: jmp loop
+	0xC3, // 1d: done: ret
+}
+
+func TestChainedJumpPatchExecutesNewBytes(t *testing.T) {
+	for _, mode := range []string{"run", "step"} {
+		t.Run(mode, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c := loadWX(t, chainedPatchProgram)
+			e := tb.New(c, reg)
+			defer e.Close()
+
+			var err error
+			if mode == "run" {
+				err = e.Run()
+			} else {
+				for !c.Exited && err == nil {
+					err = e.Step()
+				}
+			}
+			if err != nil {
+				t.Fatalf("tb %s: %v (eip=%#x)", mode, err, c.EIP)
+			}
+			if got := c.Reg[6]; got != 0x55555555 { // ESI
+				t.Fatalf("esi = %#x, want 0x55555555 (stale translation gives 0x33333333)", got)
+			}
+			if reg.Counter("emu.tb.invalidations").Value() == 0 {
+				t.Fatal("patching chained code recorded no invalidations")
+			}
+
+			// The interpreter must agree on every observable counter.
+			ic := loadWX(t, chainedPatchProgram)
+			if err := ic.Run(); err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			if ic.Reg != c.Reg || ic.Icount != c.Icount || ic.Cycles != c.Cycles ||
+				ic.Status != c.Status || ic.Flags() != c.Flags() {
+				t.Fatalf("tb/interp mismatch:\n tb:     %s icount=%d cycles=%d\n interp: %s icount=%d cycles=%d",
+					c, c.Icount, c.Cycles, ic, ic.Icount, ic.Cycles)
+			}
+		})
+	}
+}
+
+// TestMidBlockSelfPatch stores over an instruction later in the same
+// basic block: the store's invalidation must abort the current
+// translation so the freshly written bytes (dec eax x4 over inc eax
+// x4) execute.
+func TestMidBlockSelfPatch(t *testing.T) {
+	code := []byte{
+		0xC7, 0x05, 0x10, 0x80, 0x04, 0x08, 0x48, 0x48, 0x48, 0x48, // 00: mov [base+0x10],0x48484848
+		0xB8, 0x05, 0x00, 0x00, 0x00, // 0a: mov eax,5
+		0x90,                   // 0f: nop
+		0x40, 0x40, 0x40, 0x40, // 10: inc eax x4 (patched to dec eax x4)
+		0xC3, // 14: ret
+	}
+	c := loadWX(t, code)
+	e := tb.New(c, nil)
+	defer e.Close()
+	if err := e.Run(); err != nil {
+		t.Fatalf("tb run: %v (eip=%#x)", err, c.EIP)
+	}
+	if !c.Exited || c.Status != 1 {
+		t.Fatalf("exited=%t status=%d, want clean exit 1 (stale block gives 9)", c.Exited, c.Status)
+	}
+}
+
+// TestInstLimitParity checks the engine reports the budget stop with
+// the interpreter's exact error shape, count and EIP — mid-block.
+func TestInstLimitParity(t *testing.T) {
+	// loop: inc eax; jmp loop
+	code := []byte{0x40, 0xEB, 0xFD}
+	tc := loadWX(t, code)
+	tc.MaxInst = 777
+	e := tb.New(tc, nil)
+	defer e.Close()
+	errT := e.Run()
+
+	ic := loadWX(t, code)
+	ic.MaxInst = 777
+	errI := ic.Run()
+
+	if !errors.Is(errT, emu.ErrInstLimit) || !errors.Is(errI, emu.ErrInstLimit) {
+		t.Fatalf("want inst-limit from both: tb=%v interp=%v", errT, errI)
+	}
+	if errT.Error() != errI.Error() {
+		t.Fatalf("error text differs:\n tb:     %v\n interp: %v", errT, errI)
+	}
+	if tc.Icount != ic.Icount || tc.EIP != ic.EIP || tc.Reg != ic.Reg {
+		t.Fatalf("limit state differs: tb icount=%d eip=%#x vs interp icount=%d eip=%#x",
+			tc.Icount, tc.EIP, ic.Icount, ic.EIP)
+	}
+}
+
+// TestCloseUnregisters checks a closed engine no longer receives
+// invalidations from the bus (the cancel path of OnCodeInvalidate).
+func TestCloseUnregisters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := loadWX(t, []byte{0xC3})
+	e := tb.New(c, reg)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	after := reg.Counter("emu.tb.invalidations").Value()
+	if err := c.Patch(testBase, []byte{0x90, 0xC3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("emu.tb.invalidations").Value(); got != after {
+		t.Fatalf("closed engine still invalidating: %d -> %d", after, got)
+	}
+}
