@@ -39,6 +39,21 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Chaos smoke gate: a seeded fault plan over the wget campaign must
+# degrade gracefully — every faulted cell classifies as an infra
+# error, every untouched cell is byte-identical to the fault-free
+# matrix — and a checkpointed campaign killed mid-flight (torn journal
+# tail included) must resume to a byte-identical report. The -race
+# variant replays the injection paths and the journal's concurrent
+# appends under the detector on the compact synthetic target (the
+# corpus sweep is too slow under the detector; see raceEnabled).
+echo "==> chaos smoke: seeded fault injection + checkpoint resume"
+go test -run 'TestChaosCampaignGraceful|TestCheckpoint' ./internal/campaign
+echo "==> chaos smoke (-race)"
+go test -race ./internal/chaos
+go test -race -run 'TestChaos|TestCheckpoint|TestRetryDeadline|TestTightDeadline' \
+    ./internal/campaign ./internal/farm ./internal/emu/tb
+
 # Campaign-throughput smoke: run the same enumerated wget campaign
 # through the clone+reload path and the snapshot/restore path. The
 # detection matrices must be byte-identical (hard gate), and the
@@ -90,6 +105,8 @@ if [[ "$FUZZTIME" != "0" ]]; then
     go test -run='^$' -fuzz=FuzzScan -fuzztime="$FUZZTIME" ./internal/gadget
     echo "==> fuzz smoke: FuzzImageReadFrom ($FUZZTIME)"
     go test -run='^$' -fuzz=FuzzImageReadFrom -fuzztime="$FUZZTIME" ./internal/image
+    echo "==> fuzz smoke: FuzzCheckpointJournal ($FUZZTIME)"
+    go test -run='^$' -fuzz=FuzzCheckpointJournal -fuzztime="$FUZZTIME" ./internal/campaign
 fi
 
 echo "==> ci.sh: all green"

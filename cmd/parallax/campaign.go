@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"parallax/internal/campaign"
+	"parallax/internal/chaos"
 	"parallax/internal/core"
 	"parallax/internal/corpus"
 	"parallax/internal/farm"
@@ -32,6 +33,9 @@ func cmdCampaign(args []string) error {
 	metrics := fs.Bool("metrics", false, "collect pipeline/emulator/farm metrics and print them after the matrix")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
 	engine := fs.String("engine", "interp", "mutant execution backend: interp|tb (translation-block engine)")
+	checkpoint := fs.String("checkpoint", "", "append-only resume journal: a killed campaign re-run with the same flags and journal resumes where it stopped")
+	chaosSpec := fs.String("chaos", "", "fault-injection plan, comma-separated point:prob[:count[:delay]] entries (e.g. campaign.mutant:0.05,emu.budget:0.01:4)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection plan")
 	fs.Parse(args)
 
 	p, err := corpus.ByName(*prog)
@@ -61,6 +65,15 @@ func cmdCampaign(args []string) error {
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
+	}
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		plan, err := chaos.ParsePlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fmt.Errorf("%w: %w", errUsage, err)
+		}
+		inj = chaos.New(plan, reg)
 	}
 
 	m := p.Build()
@@ -96,6 +109,8 @@ func cmdCampaign(args []string) error {
 		Obs:        reg,
 		Reload:     !*reuseVM,
 		Engine:     *engine,
+		Chaos:      inj,
+		Checkpoint: *checkpoint,
 	})
 	if err != nil {
 		return fmt.Errorf("campaign over %s: %w", p.Name, err)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parallax/internal/chaos"
 	"parallax/internal/emu"
 	"parallax/internal/emu/tb"
 	"parallax/internal/image"
@@ -187,6 +188,10 @@ type RunConfig struct {
 	// reused) CPU. The campaign path passes a persistent tb.Engine
 	// here so translations stay warm across snapshot/restore mutants.
 	Exec Runner
+	// Chaos, when non-nil, arms fault injection on a freshly loaded
+	// emulator (segment-map failures, forced budget trips). A reused
+	// CPU keeps whatever injector its loader armed.
+	Chaos *chaos.Injector
 }
 
 // Runner is an execution backend driving an already-configured CPU —
@@ -206,6 +211,7 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 		loaded, err := emu.LoadImageWith(img, emu.LoadConfig{
 			StackSize: cfg.StackSize,
 			MemBudget: cfg.MemBudget,
+			Chaos:     cfg.Chaos,
 		})
 		if err != nil {
 			cfg.Obs.Counter("emu.load_failures").Inc()

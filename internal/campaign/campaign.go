@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"parallax/internal/attack"
+	"parallax/internal/chaos"
 	"parallax/internal/core"
 	"parallax/internal/emu"
 	"parallax/internal/emu/tb"
@@ -85,6 +86,18 @@ type Config struct {
 	// and — via attack.RunWith — the emu.* run counters for every
 	// mutant execution. Nil disables recording entirely.
 	Obs *obs.Registry
+	// Chaos, when non-nil, arms fault injection on mutant execution
+	// (never the clean reference run): worker crashes, blown deadlines,
+	// restore corruption, load failures, truncated serialized reads.
+	// Faulted cells classify as ClassInfraError and the matrix still
+	// completes; see the package fault model in internal/chaos.
+	Chaos *chaos.Injector
+	// Checkpoint, when non-empty, is the path of the append-only resume
+	// journal: every finished mutant outcome is recorded there, and a
+	// re-run against the same image, config and journal skips the
+	// recorded cells — a killed campaign resumes where it stopped and
+	// produces a byte-identical final matrix.
+	Checkpoint string
 }
 
 func (cfg Config) withDefaults() Config {
@@ -134,12 +147,25 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
-	classes, panics, err := executeAll(ctx, prot, mutants, clean, cfg)
+	var jn *journal
+	var done map[int]Class
+	if cfg.Checkpoint != "" {
+		var buf bytes.Buffer
+		if _, err := prot.Image.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("campaign: serializing image for checkpoint: %w", err)
+		}
+		jn, done, err = openJournal(cfg.Checkpoint, imageHash(buf.Bytes()), cfg, mutants)
+		if err != nil {
+			return nil, err
+		}
+		defer jn.close()
+	}
+	classes, panics, err := executeAll(ctx, prot, mutants, clean, cfg, jn, done)
 	if err != nil {
 		return nil, err
 	}
 
-	rep := &Report{Panics: panics}
+	rep := &Report{Panics: panics, Resumed: len(done)}
 	rows := make(map[string]*Row)
 	for i, m := range mutants {
 		rep.add(rows, m, classes[i])
@@ -154,8 +180,14 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 // is the campaign's execution core, split out so differential tests can
 // compare the two execution paths mutant by mutant. cfg must already
 // have defaults applied.
+//
+// jn and done (both optional) carry the checkpoint state: cells in
+// done are restored without executing, and every freshly finished cell
+// is appended to jn — except infra-error cells, whose failure was
+// transient, and cells finished after the campaign context was
+// cancelled, whose outcome may be cancellation-tainted.
 func executeAll(ctx context.Context, prot *core.Protected, mutants []Mutant,
-	clean attack.RunResult, cfg Config) ([]Class, int, error) {
+	clean attack.RunResult, cfg Config, jn *journal, done map[int]Class) ([]Class, int, error) {
 	var stream []byte
 	for _, m := range mutants {
 		if m.Kind == KindSerial {
@@ -170,7 +202,11 @@ func executeAll(ctx context.Context, prot *core.Protected, mutants []Mutant,
 	guard := guardedBytes(prot)
 
 	classes := make([]Class, len(mutants))
+	for i, c := range done {
+		classes[i] = c
+	}
 	var panics uint64
+	var ckErrs uint64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
@@ -185,12 +221,29 @@ func executeAll(ctx context.Context, prot *core.Protected, mutants []Mutant,
 				eng = newVMEngine(prot.Image, cfg)
 			}
 			for i := range next {
-				classes[i] = runOne(ctx, prot.Image, stream, guard, mutants[i], clean, cfg, eng, &panics)
+				classes[i] = runOne(ctx, prot.Image, stream, guard, i, mutants[i], clean, cfg, eng, &panics)
+				if eng != nil && eng.poisoned {
+					// Injected restore corruption: the VM's state is no
+					// longer trustworthy. Rebuild it; until then (or on
+					// rebuild failure) mutants take the clone path.
+					eng.close()
+					eng = newVMEngine(prot.Image, cfg)
+				}
+				if jn != nil && classes[i] != ClassInfraError && ctx.Err() == nil {
+					// A failed append degrades the checkpoint (those cells
+					// re-run on resume), never the running campaign.
+					if err := jn.append(i, classes[i], mutants[i]); err != nil {
+						atomic.AddUint64(&ckErrs, 1)
+					}
+				}
 			}
 		}()
 	}
 feed:
 	for i := range mutants {
+		if _, ok := done[i]; ok {
+			continue
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -199,6 +252,9 @@ feed:
 	}
 	close(next)
 	wg.Wait()
+	if n := atomic.LoadUint64(&ckErrs); n > 0 && cfg.Obs != nil {
+		cfg.Obs.Counter("campaign.checkpoint_errors").Add(n)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, 0, fmt.Errorf("campaign: cancelled: %w", err)
 	}
@@ -218,6 +274,19 @@ type vmEngine struct {
 	// Restore's page copy-backs invalidate, through the memory bus's
 	// code hooks, exactly the blocks whose bytes changed.
 	tbe *tb.Engine
+
+	// poisoned marks the VM state corrupted (injected restore fault):
+	// the owning worker must discard and rebuild the engine before the
+	// next mutant.
+	poisoned bool
+}
+
+// close releases the engine's translation backend (the CPU needs no
+// teardown).
+func (e *vmEngine) close() {
+	if e.tbe != nil {
+		e.tbe.Close()
+	}
 }
 
 // newVMEngine loads the image and takes the baseline snapshot. A load
@@ -227,6 +296,7 @@ func newVMEngine(base *image.Image, cfg Config) *vmEngine {
 	cpu, err := emu.LoadImageWith(base, emu.LoadConfig{
 		StackSize: cfg.StackSize,
 		MemBudget: cfg.MemBudget,
+		Chaos:     cfg.Chaos,
 	})
 	if err != nil {
 		return nil
@@ -247,6 +317,8 @@ func recordOutcomes(reg *obs.Registry, rep *Report, classes []Class) {
 	}
 	reg.Counter("campaign.mutants").Add(uint64(len(classes)))
 	reg.Counter("campaign.panics").Add(uint64(rep.Panics))
+	reg.Counter("campaign.infra_errors").Add(uint64(rep.InfraErrors))
+	reg.Counter("campaign.resumed_mutants").Add(uint64(rep.Resumed))
 	var byClass [numClasses]uint64
 	for _, c := range classes {
 		if c < numClasses {
@@ -267,26 +339,50 @@ func recordOutcomes(reg *obs.Registry, rep *Report, classes []Class) {
 // mutants always exercise the loader, and a nil engine falls back to
 // clone+reload.
 func runOne(ctx context.Context, base *image.Image, stream []byte,
-	guard map[uint32]bool, m Mutant, clean attack.RunResult,
+	guard map[uint32]bool, idx int, m Mutant, clean attack.RunResult,
 	cfg Config, eng *vmEngine, panics *uint64) (cls Class) {
 	defer func() {
 		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && chaos.IsInjected(e) {
+				// Injected worker crash: infrastructure, not a harness
+				// bug — the cell is lost, the panic tally stays honest.
+				cls = ClassInfraError
+				return
+			}
 			atomic.AddUint64(panics, 1)
 			cls = ClassCrash
 		}
 	}()
+	inj := cfg.Chaos
+	if err := inj.Fire(chaos.PointCampaignMutant, uint64(idx)); err != nil {
+		panic(err)
+	}
+	// Injected deadline blow-through: the mutant starts with its wall
+	// budget already exhausted, exercising the watchdog path end to end;
+	// whatever the truncated run reports, the cell is an infra error.
+	blownDeadline := inj.Should(chaos.PointCampaignDeadline, uint64(idx))
+	timeout := cfg.Timeout
+	if blownDeadline {
+		timeout = -1
+	}
 
 	runCfg := attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs, Engine: cfg.Engine,
+		Obs: cfg.Obs, Engine: cfg.Engine, Chaos: cfg.Chaos,
 	}
 
 	var img *image.Image
 	switch {
 	case m.Kind == KindSerial:
-		loaded, err := image.ReadFrom(bytes.NewReader(m.corruptSerial(stream)))
+		loaded, err := image.ReadFrom(
+			inj.Reader(chaos.PointImageRead, uint64(idx), bytes.NewReader(m.corruptSerial(stream))))
 		if err != nil {
+			if chaos.IsInjected(err) {
+				// The read was truncated by injection, not by the mutant:
+				// the loader's verdict on this corruption is unknown.
+				return ClassInfraError
+			}
 			return ClassLoaderReject
 		}
 		img = loaded
@@ -296,18 +392,31 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 			reg.Counter("emu.restores").Inc()
 			reg.Histogram("emu.dirty_pages").Record(uint64(st.DirtyPages))
 		}
+		if inj.Should(chaos.PointEmuRestoreDirty, uint64(idx)) {
+			// Injected dirty-page copy-back corruption: flip a byte of
+			// restored state and poison the VM — the worker rebuilds it,
+			// and this cell measured nothing.
+			if raw, err := eng.cpu.Mem.Peek(base.Entry, 1); err == nil {
+				eng.cpu.Mem.Poke(base.Entry, []byte{raw[0] ^ 0xFF})
+			}
+			eng.poisoned = true
+			return ClassInfraError
+		}
 		if err := m.applyVM(base, eng.cpu); err != nil {
 			// Unpatchable site: same rejection the clone path's
 			// image.WriteAt would produce, before execution.
 			return ClassLoaderReject
 		}
-		mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+		mctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		runCfg.CPU = eng.cpu
 		if eng.tbe != nil {
 			runCfg.Exec = eng.tbe
 		}
 		res := attack.RunWith(mctx, base, runCfg)
+		if blownDeadline {
+			return ClassInfraError
+		}
 		return classify(m, res, clean, guard)
 	default:
 		img = base.Clone()
@@ -318,9 +427,12 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 		}
 	}
 
-	mctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	mctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	res := attack.RunWith(mctx, img, runCfg)
+	if blownDeadline {
+		return ClassInfraError
+	}
 	return classify(m, res, clean, guard)
 }
 
@@ -328,6 +440,11 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 func classify(m Mutant, res, clean attack.RunResult, guard map[uint32]bool) Class {
 	var de *emu.DeadlineError
 	switch {
+	case chaos.IsInjected(res.Err):
+		// Checked before every outcome shape: an injected fault (forced
+		// budget trip, failed allocation) wears the same error types as
+		// earned failures, and must never masquerade as a detection.
+		return ClassInfraError
 	case res.Err == nil:
 		if res.Status == clean.Status && res.Stdout == clean.Stdout {
 			return ClassSilent

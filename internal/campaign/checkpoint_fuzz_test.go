@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzCheckpointJournal drives the journal decoder with truncated,
+// garbage and duplicate inputs. The contract under any input: no
+// panic, and either a typed refusal or outcomes that can only produce
+// a correct matrix — every accepted entry is in range, digest-bound to
+// its mutant, and internally consistent; the intact-byte count never
+// exceeds the input.
+func FuzzCheckpointJournal(f *testing.F) {
+	mutants := []Mutant{
+		{Kind: KindBitFlip, Region: "f", Addr: 0x1000, Len: 1, Bit: 3, Guarded: true},
+		{Kind: KindByteSet, Region: "g", Addr: 0x1004, Len: 1},
+		{Kind: KindSerial, Region: serialRegion, Addr: 7, Len: 1, Bit: 1},
+	}
+	header := fmt.Sprintf("%s img=%016x cfg=%016x n=%d",
+		journalMagic, uint64(0xabc), configHash(Config{}.withDefaults()), len(mutants))
+	entry := func(idx int, c Class) string {
+		d := mutantDigest(mutants[idx])
+		return fmt.Sprintf("%d %d %016x %08x\n", idx, c, d, entryCRC(idx, c, d))
+	}
+
+	valid := header + "\n" + entry(0, ClassChain) + entry(2, ClassLoaderReject)
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)-5]))                        // torn tail
+	f.Add([]byte(header + "\n" + "0 0 dead beef\n"))           // bad crc, complete line
+	f.Add([]byte(valid + entry(0, ClassChain)))                // duplicate, agreeing
+	f.Add([]byte(valid + entry(0, ClassSilent)))               // duplicate, conflicting
+	f.Add([]byte(valid + entry(1, ClassCrash)[:7]))            // torn mid-entry
+	f.Add([]byte("parallax-checkpoint v1 img=0 cfg=0 n=99\n")) // foreign header
+	f.Add([]byte("\x00\xff garbage"))
+	f.Add([]byte(header + "\n" + "99 1 0000000000000000 00000000\n"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		keep, done, err := parseJournal(raw, header, mutants)
+		if err != nil {
+			return // typed refusal is always acceptable
+		}
+		if keep < 0 || keep > int64(len(raw)) {
+			t.Fatalf("intact byte count %d outside input of %d bytes", keep, len(raw))
+		}
+		if keep > 0 && !strings.HasPrefix(string(raw), header) {
+			t.Fatal("accepted a journal whose header does not match")
+		}
+		for idx, c := range done {
+			if idx < 0 || idx >= len(mutants) {
+				t.Fatalf("accepted out-of-range mutant index %d", idx)
+			}
+			if c >= numClasses {
+				t.Fatalf("accepted invalid class %d for mutant %d", c, idx)
+			}
+		}
+	})
+}

@@ -42,7 +42,7 @@ func assertSameClasses(t *testing.T, prot *core.Protected, mutants []Mutant, cfg
 
 	reloadCfg := cfg
 	reloadCfg.Reload = true
-	reload, panics, err := executeAll(context.Background(), prot, mutants, clean, reloadCfg)
+	reload, panics, err := executeAll(context.Background(), prot, mutants, clean, reloadCfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func assertSameClasses(t *testing.T, prot *core.Protected, mutants []Mutant, cfg
 	}
 	snapCfg := cfg
 	snapCfg.Reload = false
-	snap, panics, err := executeAll(context.Background(), prot, mutants, clean, snapCfg)
+	snap, panics, err := executeAll(context.Background(), prot, mutants, clean, snapCfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

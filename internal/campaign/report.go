@@ -20,8 +20,17 @@ const (
 	ClassTimeout
 	ClassSilent
 	ClassLoaderReject
+	ClassInfraError
 	numClasses
 )
+
+// KindInfraError is the fault-model name for ClassInfraError: the cell
+// did not measure the protection at all — the harness infrastructure
+// failed (injected or real: an allocation failure, a poisoned restore,
+// a worker crash) and the mutant's detection outcome is unknown, not
+// bad. Infra cells are excluded from detection rates and are re-run on
+// a checkpoint resume.
+const KindInfraError = ClassInfraError
 
 func (c Class) String() string {
 	switch c {
@@ -35,6 +44,8 @@ func (c Class) String() string {
 		return "silent"
 	case ClassLoaderReject:
 		return "loader-reject"
+	case ClassInfraError:
+		return "infra-error"
 	}
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
@@ -53,15 +64,19 @@ type Row struct {
 	Timeout      int
 	Silent       int
 	LoaderReject int
+	Infra        int
 }
 
-// DetectedRate is the fraction of the region's mutants whose effect is
-// observable (everything but silent successes).
+// DetectedRate is the fraction of the region's measured mutants whose
+// effect is observable (everything but silent successes). Infra-error
+// cells measured nothing, so they are excluded from both sides of the
+// ratio rather than counted as detections.
 func (r Row) DetectedRate() float64 {
-	if r.Total == 0 {
+	measured := r.Total - r.Infra
+	if measured <= 0 {
 		return 0
 	}
-	return float64(r.Total-r.Silent) / float64(r.Total)
+	return float64(measured-r.Silent) / float64(measured)
 }
 
 // Report is a finished campaign's detection-coverage matrix.
@@ -78,6 +93,15 @@ type Report struct {
 	// claim lives in this ratio.
 	GuardedTotal int
 	GuardedChain int
+	// InfraErrors counts cells lost to harness-infrastructure failures
+	// (injected or real); the matrix completes anyway and these cells
+	// are re-run on a checkpoint resume.
+	InfraErrors int
+	// Resumed counts cells restored from a checkpoint journal instead
+	// of executed. It is bookkeeping, not an outcome, and is excluded
+	// from String() so a resumed matrix renders byte-identical to an
+	// uninterrupted one.
+	Resumed int
 }
 
 // add accumulates one classified mutant.
@@ -91,9 +115,14 @@ func (rep *Report) add(rows map[string]*Row, m Mutant, c Class) {
 	rep.Mutants++
 	if m.Guarded {
 		row.Guarded++
-		rep.GuardedTotal++
-		if c == ClassChain {
-			rep.GuardedChain++
+		// Guarded infra cells stay out of the coverage ratio: the cell
+		// measured nothing, so it belongs in neither the numerator nor
+		// the denominator of the headline claim.
+		if c != ClassInfraError {
+			rep.GuardedTotal++
+			if c == ClassChain {
+				rep.GuardedChain++
+			}
 		}
 	}
 	switch c {
@@ -107,6 +136,9 @@ func (rep *Report) add(rows map[string]*Row, m Mutant, c Class) {
 		row.Silent++
 	case ClassLoaderReject:
 		row.LoaderReject++
+	case ClassInfraError:
+		row.Infra++
+		rep.InfraErrors++
 	}
 }
 
@@ -130,6 +162,7 @@ func (rep *Report) Totals() Row {
 		t.Timeout += r.Timeout
 		t.Silent += r.Silent
 		t.LoaderReject += r.LoaderReject
+		t.Infra += r.Infra
 	}
 	return t
 }
@@ -146,18 +179,18 @@ func (rep *Report) GuardedChainRate() float64 {
 // String renders the matrix as an aligned text table.
 func (rep *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %7s %7s %7s %7s %7s %7s %7s %9s\n",
-		"region", "mutants", "guarded", "chain", "crash", "timeout", "silent", "reject", "detected")
+	fmt.Fprintf(&b, "%-28s %7s %7s %7s %7s %7s %7s %7s %7s %9s\n",
+		"region", "mutants", "guarded", "chain", "crash", "timeout", "silent", "reject", "infra", "detected")
 	line := func(r Row) {
-		fmt.Fprintf(&b, "%-28s %7d %7d %7d %7d %7d %7d %7d %8.1f%%\n",
+		fmt.Fprintf(&b, "%-28s %7d %7d %7d %7d %7d %7d %7d %7d %8.1f%%\n",
 			r.Region, r.Total, r.Guarded, r.Chain, r.Crash, r.Timeout, r.Silent,
-			r.LoaderReject, 100*r.DetectedRate())
+			r.LoaderReject, r.Infra, 100*r.DetectedRate())
 	}
 	for _, r := range rep.Rows {
 		line(r)
 	}
 	line(rep.Totals())
-	fmt.Fprintf(&b, "guarded-site chain detection: %d/%d (%.1f%%), harness panics: %d\n",
-		rep.GuardedChain, rep.GuardedTotal, 100*rep.GuardedChainRate(), rep.Panics)
+	fmt.Fprintf(&b, "guarded-site chain detection: %d/%d (%.1f%%), harness panics: %d, infra errors: %d\n",
+		rep.GuardedChain, rep.GuardedTotal, 100*rep.GuardedChainRate(), rep.Panics, rep.InfraErrors)
 	return b.String()
 }

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/obs"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Should(PointEmuBudget, 1) || in.ShouldNext(PointEmuBudget) {
+		t.Fatal("nil injector fired")
+	}
+	if err := in.Fire(PointEmuBudget, 1); err != nil {
+		t.Fatalf("nil injector Fire: %v", err)
+	}
+	if err := in.FireNext(PointEmuBudget); err != nil {
+		t.Fatalf("nil injector FireNext: %v", err)
+	}
+	if d := in.StallNext(PointFarmQueueStall); d != 0 {
+		t.Fatalf("nil injector stall: %v", d)
+	}
+	r := strings.NewReader("abc")
+	if got := in.Reader(PointImageRead, 1, r); got != r {
+		t.Fatal("nil injector wrapped the reader")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(Plan{Seed: 1, Faults: []Fault{{Point: PointEmuBudget, Prob: 1}}}, nil)
+	for k := uint64(0); k < 1000; k++ {
+		if in.Should(PointEmuMemAlloc, k) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestKeyedDecisionDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return New(Plan{Seed: 42, Faults: []Fault{{Point: PointCampaignMutant, Prob: 0.25}}}, nil)
+	}
+	a, b := mk(), mk()
+	fired := 0
+	for k := uint64(0); k < 4000; k++ {
+		fa := a.Should(PointCampaignMutant, k)
+		if fb := b.Should(PointCampaignMutant, k); fa != fb {
+			t.Fatalf("key %d: decision not deterministic", k)
+		}
+		if fa {
+			fired++
+		}
+	}
+	// ~25% of 4000; a wide band guards the distribution, not the noise.
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("prob 0.25 fired %d/4000", fired)
+	}
+	// A different seed flips some decisions.
+	c := New(Plan{Seed: 43, Faults: []Fault{{Point: PointCampaignMutant, Prob: 0.25}}}, nil)
+	diff := 0
+	for k := uint64(0); k < 4000; k++ {
+		if a.Should(PointCampaignMutant, k) != c.Should(PointCampaignMutant, k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not alter any decision")
+	}
+}
+
+func TestCountBudgetCapsInjections(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Plan{Seed: 7, Faults: []Fault{{Point: PointEmuBudget, Prob: 1, Count: 3}}}, reg)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if in.ShouldNext(PointEmuBudget) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("count budget 3, fired %d", fired)
+	}
+	if got := reg.Snapshot().Counters["chaos.injected"]; got != 3 {
+		t.Fatalf("chaos.injected = %d, want 3", got)
+	}
+	if got := reg.Snapshot().Counters["chaos.injected.emu.budget"]; got != 3 {
+		t.Fatalf("chaos.injected.emu.budget = %d, want 3", got)
+	}
+}
+
+func TestCountBudgetUnderConcurrency(t *testing.T) {
+	in := New(Plan{Seed: 9, Faults: []Fault{{Point: PointFarmWorkerPanic, Prob: 1, Count: 16}}}, nil)
+	var fired uint32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := uint32(0)
+			for i := 0; i < 200; i++ {
+				if in.ShouldNext(PointFarmWorkerPanic) {
+					local++
+				}
+			}
+			mu.Lock()
+			fired += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fired != 16 {
+		t.Fatalf("concurrent count budget 16, fired %d", fired)
+	}
+}
+
+func TestFireReturnsTypedError(t *testing.T) {
+	in := New(Plan{Seed: 1, Faults: []Fault{{Point: PointCampaignMutant, Prob: 1}}}, nil)
+	err := in.Fire(PointCampaignMutant, 5)
+	if err == nil {
+		t.Fatal("Fire(prob=1) returned nil")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Point != PointCampaignMutant {
+		t.Fatalf("Fire error %v not a *chaos.Error for the point", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(false) for an injected error")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("IsInjected(true) for a plain error")
+	}
+}
+
+func TestStallNext(t *testing.T) {
+	in := New(Plan{Seed: 1, Faults: []Fault{
+		{Point: PointFarmQueueStall, Prob: 1, Delay: 5 * time.Millisecond}}}, nil)
+	if d := in.StallNext(PointFarmQueueStall); d != 5*time.Millisecond {
+		t.Fatalf("stall = %v, want 5ms", d)
+	}
+	// Default delay when the fault omits one.
+	in = New(Plan{Seed: 1, Faults: []Fault{{Point: PointFarmQueueStall, Prob: 1}}}, nil)
+	if d := in.StallNext(PointFarmQueueStall); d != time.Millisecond {
+		t.Fatalf("default stall = %v, want 1ms", d)
+	}
+}
+
+func TestReaderTruncatesWithTypedError(t *testing.T) {
+	in := New(Plan{Seed: 3, Faults: []Fault{{Point: PointImageRead, Prob: 1}}}, nil)
+	src := bytes.Repeat([]byte{0xAB}, 8192)
+	r := in.Reader(PointImageRead, 11, bytes.NewReader(src))
+	got, err := io.ReadAll(r)
+	if err == nil {
+		t.Fatal("short reader completed without error")
+	}
+	if !IsInjected(err) {
+		t.Fatalf("short reader error %v is not an injected chaos error", err)
+	}
+	if len(got) >= len(src) {
+		t.Fatalf("reader delivered all %d bytes despite truncation", len(got))
+	}
+	// Same key, same cut.
+	r2 := in.Reader(PointImageRead, 11, bytes.NewReader(src))
+	got2, _ := io.ReadAll(r2)
+	if !bytes.Equal(got, got2) {
+		t.Fatalf("truncation point not deterministic: %d vs %d bytes", len(got), len(got2))
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("campaign.mutant:0.05,emu.budget:0.001:4,farm.queue_stall:0.1:0:2ms", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 99 || len(plan.Faults) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if f := plan.Faults[1]; f.Point != PointEmuBudget || f.Prob != 0.001 || f.Count != 4 {
+		t.Fatalf("fault[1] = %+v", f)
+	}
+	if f := plan.Faults[2]; f.Delay != 2*time.Millisecond {
+		t.Fatalf("fault[2] = %+v", f)
+	}
+	if plan, err := ParsePlan("  ", 1); err != nil || len(plan.Faults) != 0 {
+		t.Fatalf("empty spec: %v %+v", err, plan)
+	}
+	for _, bad := range []string{
+		"nope:0.5", "emu.budget:2", "emu.budget:x", "emu.budget",
+		"emu.budget:0.5:-1", "farm.queue_stall:0.5:0:zz", "emu.budget:0.1:1:1ms:extra",
+	} {
+		if _, err := ParsePlan(bad, 0); !errors.Is(err, ErrBadPlan) {
+			t.Fatalf("ParsePlan(%q) = %v, want ErrBadPlan", bad, err)
+		}
+	}
+}

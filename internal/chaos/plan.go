@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadPlan wraps every plan-spec parse rejection.
+var ErrBadPlan = errors.New("chaos: bad plan spec")
+
+// ParsePlan parses the command-line fault-plan syntax: a
+// comma-separated list of point:prob[:count[:delay]] entries, e.g.
+//
+//	campaign.mutant:0.05,emu.budget:0.001:4,farm.queue_stall:0.1:0:2ms
+//
+// Probabilities are in [0, 1]; count 0 means unlimited; delay (for
+// stall points) accepts time.ParseDuration syntax. Point names must be
+// ones compiled into the system (see Points). The seed travels
+// separately so one spec can be swept across seeds.
+func ParsePlan(spec string, seed uint64) (Plan, error) {
+	plan := Plan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return plan, nil
+	}
+	known := make(map[Point]bool, len(Points()))
+	for _, p := range Points() {
+		known[p] = true
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return Plan{}, fmt.Errorf("%w: %q (want point:prob[:count[:delay]])", ErrBadPlan, entry)
+		}
+		f := Fault{Point: Point(parts[0])}
+		if !known[f.Point] {
+			return Plan{}, fmt.Errorf("%w: unknown fault point %q (known: %s)",
+				ErrBadPlan, parts[0], joinPoints())
+		}
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return Plan{}, fmt.Errorf("%w: probability %q not in [0,1]", ErrBadPlan, parts[1])
+		}
+		f.Prob = prob
+		if len(parts) >= 3 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("%w: count %q", ErrBadPlan, parts[2])
+			}
+			f.Count = n
+		}
+		if len(parts) == 4 {
+			d, err := time.ParseDuration(parts[3])
+			if err != nil || d < 0 {
+				return Plan{}, fmt.Errorf("%w: delay %q", ErrBadPlan, parts[3])
+			}
+			f.Delay = d
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan, nil
+}
+
+func joinPoints() string {
+	names := make([]string, 0, len(Points()))
+	for _, p := range Points() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, " ")
+}

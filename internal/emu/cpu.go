@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parallax/internal/chaos"
 	"parallax/internal/image"
 	"parallax/internal/obs"
 	"parallax/internal/x86"
@@ -83,6 +84,11 @@ type CPU struct {
 	// CheckStride is the instruction interval between context checks
 	// in RunContext; 0 means DefaultCheckStride.
 	CheckStride uint64
+
+	// Chaos, when non-nil, arms the emulator's fault-injection points
+	// (forced budget exhaustion at poll boundaries). Nil — the
+	// production default — costs one nil check per poll.
+	Chaos *chaos.Injector
 
 	// stackBase is the lowest mapped stack address (set by LoadImage);
 	// pushes faulting just below it classify as stack overflow.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"parallax/internal/chaos"
 	"parallax/internal/image"
 	"parallax/internal/x86"
 )
@@ -57,6 +58,10 @@ type LoadConfig struct {
 	// malformed image declaring gigabyte sections fails cleanly instead
 	// of exhausting host memory.
 	MemBudget uint64
+	// Chaos, when non-nil, arms the loader's and the loaded CPU's
+	// fault-injection points (chaos.PointEmuMemAlloc at each segment
+	// map, chaos.PointEmuBudget at run-poll boundaries).
+	Chaos *chaos.Injector
 }
 
 // MinStackSize is the smallest accepted LoadConfig.StackSize: room for
@@ -77,7 +82,11 @@ func LoadImageWith(img *image.Image, cfg LoadConfig) (*CPU, error) {
 	}
 	c := New()
 	c.Mem.Budget = cfg.MemBudget
+	c.Chaos = cfg.Chaos
 	for _, s := range img.Sections {
+		if err := cfg.Chaos.FireNext(chaos.PointEmuMemAlloc); err != nil {
+			return nil, fmt.Errorf("emu: mapping %s: %w", s.Name, err)
+		}
 		seg, err := c.Mem.Map(s.Name, s.Addr, s.Size, s.Perm)
 		if err != nil {
 			return nil, err
@@ -125,6 +134,12 @@ func (c *CPU) RunContext(ctx context.Context) error {
 		}
 		if c.Icount >= next {
 			if err := ctx.Err(); err != nil {
+				return &DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
+			}
+			if err := c.Chaos.FireNext(chaos.PointEmuBudget); err != nil {
+				// Forced watchdog exhaustion: surfaces with the shape of
+				// a real deadline trip, marked injected via the wrapped
+				// chaos error.
 				return &DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
 			}
 			next = c.Icount + stride

@@ -1,0 +1,76 @@
+package tb_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parallax/internal/chaos"
+	"parallax/internal/emu"
+	"parallax/internal/emu/tb"
+)
+
+// TestTightDeadlineOnChainedHotLoop is the cancellation-starvation
+// regression: a fully chained hot loop must observe a context deadline
+// promptly even when the instruction-count poll stride is configured
+// far beyond the deadline's reach (e.g. a caller tuning CheckStride
+// for trace sampling). Before the per-N-blocks poll, the engine only
+// checked the context every CheckStride instructions, so this
+// configuration spun until MaxInst.
+func TestTightDeadlineOnChainedHotLoop(t *testing.T) {
+	// loop: inc eax; jmp loop — a one-block chained hot loop.
+	c := loadWX(t, []byte{0x40, 0xEB, 0xFD})
+	c.MaxInst = 1 << 62     // effectively unbounded
+	c.CheckStride = 1 << 60 // instruction-count polling never trips
+	e := tb.New(c, nil)
+	defer e.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.RunContext(ctx) }()
+	select {
+	case err := <-done:
+		var de *emu.DeadlineError
+		if !errors.As(err, &de) {
+			t.Fatalf("want DeadlineError, got %v", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("DeadlineError does not wrap DeadlineExceeded: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chained hot loop starved the 30ms deadline for 5s")
+	}
+}
+
+// TestChaosBudgetInjection forces a watchdog exhaustion at a poll
+// boundary: the run must stop with a DeadlineError whose chain carries
+// the typed chaos error, distinguishable from a real deadline trip.
+func TestChaosBudgetInjection(t *testing.T) {
+	c := loadWX(t, []byte{0x40, 0xEB, 0xFD})
+	c.MaxInst = 1 << 62
+	c.Chaos = chaos.New(chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Point: chaos.PointEmuBudget, Prob: 1, Count: 1}}}, nil)
+	e := tb.New(c, nil)
+	defer e.Close()
+
+	err := e.RunContext(context.Background())
+	var de *emu.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlineError shape, got %v", err)
+	}
+	if !chaos.IsInjected(err) {
+		t.Fatalf("forced budget trip not marked injected: %v", err)
+	}
+
+	// Interpreter parity: same plan, same shape.
+	ci := loadWX(t, []byte{0x40, 0xEB, 0xFD})
+	ci.MaxInst = 1 << 62
+	ci.Chaos = chaos.New(chaos.Plan{Seed: 5, Faults: []chaos.Fault{
+		{Point: chaos.PointEmuBudget, Prob: 1, Count: 1}}}, nil)
+	erri := ci.RunContext(context.Background())
+	if !errors.As(erri, &de) || !chaos.IsInjected(erri) {
+		t.Fatalf("interpreter forced budget trip: %v", erri)
+	}
+}

@@ -301,6 +301,10 @@ func (e *Engine) execOps(b *block, start int, limit, stop uint64) (*block, uint6
 	var ops []uop
 	var precise bool
 	var nb *block
+	// chained counts internal block-to-block transitions; capped at
+	// maxChainBlocks so RunContext regains control (and can poll its
+	// context) even inside an endlessly chained hot loop.
+	chained := 0
 
 nextBlock:
 	ops = b.ops
@@ -542,7 +546,8 @@ nextBlock:
 				return nil, icount, cycles, nil
 			}
 			nb = e.chain(b, 0, op.target)
-			if nb != nil && icount < stop {
+			if nb != nil && icount < stop && chained < maxChainBlocks {
+				chained++
 				b, start = nb, 0
 				goto nextBlock
 			}
@@ -557,7 +562,8 @@ nextBlock:
 				c.EIP = b.end
 				nb = e.chain(b, 0, b.end)
 			}
-			if nb != nil && icount < stop {
+			if nb != nil && icount < stop && chained < maxChainBlocks {
+				chained++
 				b, start = nb, 0
 				goto nextBlock
 			}
@@ -575,7 +581,8 @@ nextBlock:
 				return nil, icount, cycles, nil
 			}
 			nb = e.chain(b, 0, op.target)
-			if nb != nil && icount < stop {
+			if nb != nil && icount < stop && chained < maxChainBlocks {
+				chained++
 				b, start = nb, 0
 				goto nextBlock
 			}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parallax/internal/chaos"
 	"parallax/internal/emu"
 	"parallax/internal/obs"
 )
@@ -170,9 +171,26 @@ func instLimitErr(c *emu.CPU) error {
 // instruction budget — the engine's equivalent of CPU.Run.
 func (e *Engine) Run() error { return e.RunContext(context.Background()) }
 
+// maxChainBlocks bounds how many block-to-block transitions one
+// execChain call may consume internally before handing control back
+// to RunContext, and pollChains how many execChain calls RunContext
+// makes between forced context polls. Together they guarantee a
+// cancellation check at least every maxChainBlocks×pollChains block
+// transitions even when the instruction-count stride never trips —
+// a caller-supplied CheckStride sized for trace sampling, or blocks
+// whose per-instruction wall cost dwarfs their retirement count
+// (fallback string ops), would otherwise starve a tight deadline for
+// the whole chained hot loop.
+const (
+	maxChainBlocks = 64
+	pollChains     = 8
+)
+
 // RunContext is Run with a cancellation/deadline watchdog, polled
-// every CheckStride instructions at block granularity — the engine's
-// equivalent of CPU.RunContext, returning the same error types.
+// every CheckStride instructions at block granularity — and at least
+// every maxChainBlocks×pollChains block transitions regardless of
+// stride — the engine's equivalent of CPU.RunContext, returning the
+// same error types.
 func (e *Engine) RunContext(ctx context.Context) error {
 	c := e.cpu
 	defer e.materialize()
@@ -191,15 +209,22 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		return &emu.DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
 	}
 	next := c.Icount + stride
+	chains := 0
 	for !c.Exited {
 		if c.Icount >= limit {
 			return instLimitErr(c)
 		}
-		if c.Icount >= next {
+		if c.Icount >= next || chains >= pollChains {
 			if err := ctx.Err(); err != nil {
 				return &emu.DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
 			}
+			if err := c.Chaos.FireNext(chaos.PointEmuBudget); err != nil {
+				// Forced watchdog exhaustion (injected): same shape as a
+				// real deadline trip, marked by the wrapped chaos error.
+				return &emu.DeadlineError{EIP: c.EIP, Icount: c.Icount, Err: err}
+			}
 			next = c.Icount + stride
+			chains = 0
 		}
 		b, err := e.lookup(c.EIP)
 		if err != nil {
@@ -207,10 +232,12 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		}
 		// Inner chain loop: follow block-to-block successors without
 		// touching the dispatch map until the next poll boundary.
-		// execChain consumes chained edges internally; this loop only
-		// turns over when a chain edge is still unlinked.
-		for b != nil && c.Icount < next {
+		// execChain consumes chained edges internally (at most
+		// maxChainBlocks per call); this loop turns over when a chain
+		// edge is still unlinked or the per-call chain budget ran out.
+		for b != nil && c.Icount < next && chains < pollChains {
 			nb, err := e.execChain(b, limit, next)
+			chains++
 			if err == errBudget {
 				return instLimitErr(c)
 			}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parallax/internal/chaos"
 	"parallax/internal/core"
 	"parallax/internal/gadget"
 	"parallax/internal/image"
@@ -65,7 +66,7 @@ func (c *Cache) Len() (scans, hints int) {
 // scanner returns a core.Options.ScanFunc that serves scans from the
 // cache, recording hits and misses into both the farm counters and the
 // per-job tallies.
-func (c *Cache) scanner(ct *counters, jobHits, jobMisses *uint64) func(*image.Image, gadget.ScanConfig) *gadget.Catalog {
+func (c *Cache) scanner(ct *counters, jobHits, jobMisses *uint64, inj *chaos.Injector) func(*image.Image, gadget.ScanConfig) *gadget.Catalog {
 	return func(img *image.Image, cfg gadget.ScanConfig) *gadget.Catalog {
 		k := scanKey(img, cfg)
 		c.mu.Lock()
@@ -82,6 +83,19 @@ func (c *Cache) scanner(ct *counters, jobHits, jobMisses *uint64) func(*image.Im
 			e.cat = gadget.Scan(img, cfg)
 			atomic.AddInt64(&ct.scanNanos, time.Since(start).Nanoseconds())
 		})
+		if hit && inj.ShouldNext(chaos.PointFarmCacheRead) {
+			// Injected cache corruption: the cached catalog is treated as
+			// failing its read-back check, so this lookup bypasses the
+			// entry and rescans from the image bytes. Output determinism
+			// holds because gadget.Scan is pure; the entry itself is left
+			// alone (concurrent readers may hold e.cat).
+			start := time.Now()
+			cat := gadget.Scan(img, cfg)
+			atomic.AddInt64(&ct.scanNanos, time.Since(start).Nanoseconds())
+			atomic.AddUint64(&ct.scanMisses, 1)
+			atomic.AddUint64(jobMisses, 1)
+			return cat
+		}
 		if hit {
 			atomic.AddUint64(&ct.scanHits, 1)
 			atomic.AddUint64(jobHits, 1)

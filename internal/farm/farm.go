@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parallax/internal/chaos"
 	"parallax/internal/core"
 	"parallax/internal/ir"
 	"parallax/internal/obs"
@@ -45,6 +46,14 @@ type PanicError struct {
 
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("pipeline panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error, so
+// errors.Is/As reach through a confined panic — e.g. chaos.IsInjected
+// distinguishes an injected worker panic from a genuine pipeline bug.
+func (e *PanicError) Unwrap() error {
+	err, _ := e.Value.(error)
+	return err
 }
 
 // Config sizes a Farm.
@@ -75,6 +84,12 @@ type Config struct {
 	// pipeline-stage views. Nil keeps the farm observability-free: the
 	// per-event cost is a single nil check.
 	Obs *obs.Registry
+	// Chaos, when non-nil, arms the farm's fault-injection points:
+	// chaos.PointFarmWorkerPanic (a pipeline stage panics),
+	// chaos.PointFarmCacheRead (a stage-cache read is corrupted and
+	// recomputed) and chaos.PointFarmQueueStall (a submission stalls).
+	// Nil — the production default — makes every point a nil check.
+	Chaos *chaos.Injector
 }
 
 // Farm is a worker pool executing protection jobs. Create with New,
@@ -88,6 +103,7 @@ type Farm struct {
 	retry      RetryPolicy
 	jobTimeout time.Duration
 	brk        *breaker
+	chaos      *chaos.Injector
 
 	// Deterministic-test seams; production values are time.Now,
 	// realSleep and (*Farm).protect.
@@ -116,6 +132,7 @@ func New(cfg Config) *Farm {
 		jobs:       make(chan *Job, cfg.Queue),
 		retry:      cfg.Retry.withDefaults(),
 		jobTimeout: cfg.JobTimeout,
+		chaos:      cfg.Chaos,
 		now:        time.Now,
 		sleep:      realSleep,
 	}
@@ -264,6 +281,15 @@ func (f *Farm) Submit(ctx context.Context, name string, m *ir.Module, opts core.
 	}
 	j.res.Name = name
 
+	if d := f.chaos.StallNext(chaos.PointFarmQueueStall); d > 0 {
+		// Injected scheduler hiccup: the submission stalls (ctx-aware)
+		// before reaching the queue. Outside the close lock so a stalled
+		// submit never blocks Close.
+		if err := f.sleep(ctx, d); err != nil {
+			return nil, fmt.Errorf("farm: submitting job %q: %w", name, err)
+		}
+	}
+
 	f.closeMu.RLock()
 	defer f.closeMu.RUnlock()
 	if f.closed {
@@ -368,7 +394,18 @@ func (f *Farm) run(j *Job) {
 		}
 		atomic.AddUint64(&f.ct.retries, 1)
 		f.om.retries.Inc()
-		if serr := f.sleep(j.ctx, bo.next()); serr != nil {
+		d := bo.next()
+		if dl, ok := j.ctx.Deadline(); ok {
+			// Deadline-aware backoff: a sleep that cannot end before the
+			// job deadline is a guaranteed cancellation, so fail now
+			// instead of burning the remaining budget asleep.
+			if rem := dl.Sub(f.now()); d >= rem {
+				err = fmt.Errorf("farm: job %q: retry backoff %v exceeds remaining deadline %v: %w",
+					j.Name, d, rem, context.DeadlineExceeded)
+				break
+			}
+		}
+		if serr := f.sleep(j.ctx, d); serr != nil {
 			err = fmt.Errorf("farm: job %q cancelled during retry backoff: %w", j.Name, serr)
 			break
 		}
@@ -404,10 +441,15 @@ func (f *Farm) protect(j *Job) (prot *core.Protected, err error) {
 				&PanicError{Value: r, Stack: debug.Stack()})
 		}
 	}()
+	if cerr := f.chaos.FireNext(chaos.PointFarmWorkerPanic); cerr != nil {
+		// Injected pipeline-stage panic: the confinement machinery above
+		// must catch it exactly like a real stage bug.
+		panic(cerr)
+	}
 	opts := j.opts
 	k := jobKey(j.module, opts)
 	if opts.ScanFunc == nil {
-		opts.ScanFunc = f.cache.scanner(&f.ct, &j.res.ScanHits, &j.res.ScanMisses)
+		opts.ScanFunc = f.cache.scanner(&f.ct, &j.res.ScanHits, &j.res.ScanMisses, f.chaos)
 	}
 	if opts.Hints == nil {
 		if h, ok := f.cache.lookupHints(k); ok {
