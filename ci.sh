@@ -19,7 +19,7 @@ FUZZTIME="${FUZZTIME:-10s}"
 # `go test -cover ./...` total at the time it was last raised. The
 # gate fails when coverage drops more than 2 points below it; raise
 # the baseline when new tests push the total up.
-COVERAGE_BASELINE=69.9
+COVERAGE_BASELINE=70.6
 
 echo "==> go build ./..."
 go build ./...
@@ -74,10 +74,25 @@ if [[ -z "$speedup" ]] || awk -v s="$speedup" 'BEGIN { exit !(s < 0.90) }'; then
     exit 1
 fi
 
+# Corpus-at-scale smoke: a trimmed generated-family sweep (8 programs,
+# all stages — generate, invariant-check, baseline, protect, campaign —
+# with the cross-engine matrix-fingerprint hard gate inside CorpusSweep)
+# plus the engine table on the 160 KiB family. IDENTICAL is the hard
+# gate here too; at smoke scale BENCH_corpus.json is left untouched
+# (only full-scale `-experiment corpus` runs record it).
+echo "==> corpus smoke: generated-family sweep (-n 8)"
+corpus_out=$(go run ./cmd/parallax-bench -experiment corpus -n 8)
+echo "$corpus_out"
+if ! grep -q "IDENTICAL" <<<"$corpus_out"; then
+    echo "FAIL: corpus engine table produced divergent detection matrices" >&2
+    exit 1
+fi
+
 # Differential-oracle hard gate: the gadget-biased generated batch,
-# the corpus replay (baseline + protected binaries) and the
-# reverted-bug demonstration must all hold in lockstep across all
-# three engines — the production interpreter, the SDM-pseudocode
+# the corpus replay (baseline + protected binaries, hand-written six
+# plus the 20-program generated-family slice in TestLockstepGenCorpus)
+# and the reverted-bug demonstration must all hold in lockstep across
+# all three engines — the production interpreter, the SDM-pseudocode
 # reference, and the translation-block engine (internal/emu/tb; the
 # TestLockstep* tests set Options.TB, so this gate holds tb to
 # per-step interpreter equivalence too). Any reported divergence is a

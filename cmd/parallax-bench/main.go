@@ -13,7 +13,8 @@
 //	parallax-bench -experiment campaign-engine  snapshot/restore vs clone+reload mutant execution
 //	parallax-bench -experiment obs      protect-pipeline per-stage timing (internal/obs)
 //	parallax-bench -experiment difftest differential-oracle engine throughput + divergence gate
-//	parallax-bench -experiment all      everything except farm, campaign, obs and difftest
+//	parallax-bench -experiment corpus   generated-corpus sweep: detection/overhead distributions
+//	parallax-bench -experiment all      everything except farm, campaign, obs, difftest and corpus
 //
 // All numbers except the farm experiment come from the deterministic
 // emulator cycle model; those runs are reproducible bit for bit. The
@@ -48,13 +49,16 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|campaign-engine|obs|difftest|all")
+		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|campaign-engine|obs|difftest|corpus|all")
 	workers := flag.String("workers", "1,2,4,8",
 		"comma-separated worker counts for -experiment farm")
 	progs := flag.String("progs", "wget",
 		"comma-separated corpus programs for -experiment campaign, campaign-engine and obs")
 	mutants := flag.Int("mutants", 512,
 		"mutant budget for -experiment campaign-engine")
+	n := flag.Int("n", 105, "program budget for -experiment corpus")
+	engine := flag.String("engine", "interp",
+		"campaign execution engine for -experiment corpus (interp|tb)")
 	flag.Parse()
 
 	runs := map[string]func() error{
@@ -72,6 +76,7 @@ func main() {
 		},
 		"obs":      func() error { return obsExperiment(*progs) },
 		"difftest": func() error { return difftestExperiment(*progs) },
+		"corpus":   func() error { return corpusExperiment(*n, *engine) },
 	}
 	order := []string{"fig6", "fig5a", "fig5b", "uchain", "wurster", "oh", "prob"}
 
@@ -629,6 +634,107 @@ func difftestExperiment(progs string) error {
 	fmt.Println("Lockstep adds a full three-way state comparison per retired instruction.")
 	fmt.Println("Rates vary by host; the divergence column must read zero (ci.sh gates")
 	fmt.Println("on it). Machine-readable rates land in BENCH_tb.json.")
+	return nil
+}
+
+// corpusExperiment is the corpus-at-scale sweep: n generated programs
+// (families × seeds, 16 KiB–4 MiB) through protect → tamper → detect,
+// aggregated into p10/p50/p90 distributions — the Figure 5/6 analogues
+// measured over a population — plus the interp-vs-tb engine table on
+// the big images. Detection rates, overheads and matrix fingerprints
+// come from deterministic machinery (re-running reproduces them bit
+// for bit, on either engine); only the *seconds columns vary by host.
+func corpusExperiment(n int, engine string) error {
+	header(fmt.Sprintf("corpus — generated-family sweep (n=%d, engine=%s)", n, engine))
+	// Below full scale (the ci.sh smoke runs -n 8) the sweep still
+	// exercises every stage and every hard gate, but the recorded
+	// BENCH_corpus.json is left to full-scale runs and the engine table
+	// skips the minutes-scale MiB families.
+	full := n == 0 || n >= 100
+	rep, err := experiment.CorpusSweep(context.Background(), experiment.CorpusOptions{
+		N:      n,
+		Engine: engine,
+		Progress: func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-24s", done, total, name)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nper-family distributions (p10/p50/p90 over seeds):")
+	fmt.Printf("%-10s %7s %3s %17s %17s %17s %17s %15s\n",
+		"family", "kib", "n", "guarded-chain%", "detected%", "cold-text%", "overhead%", "protect-s p50")
+	dist := func(d experiment.Dist, scale float64) string {
+		return fmt.Sprintf("%5.1f/%5.1f/%5.1f", scale*d.P10, scale*d.P50, scale*d.P90)
+	}
+	for _, f := range append(rep.Families, rep.Overall) {
+		fmt.Printf("%-10s %7d %3d %17s %17s %17s %17s %15.3f\n",
+			f.Family, f.CodeKiB, f.N,
+			dist(f.GuardedChainRate, 100), dist(f.DetectedRate, 100),
+			dist(f.ColdDetectedRate, 100), dist(f.OverheadPct, 1),
+			f.ProtectSeconds.P50)
+	}
+	fmt.Printf("\nengine cross-checks: %d matrices re-derived under the other engine, all identical\n",
+		rep.CrossChecks)
+
+	fmt.Println("\nengine table on generated images (interp reload / interp snap / tb snap):")
+	var engineFams []string // nil = small/medium/huge
+	if !full {
+		engineFams = []string{"small"}
+	}
+	engRows, err := experiment.CorpusEngines(context.Background(), engineFams, 1, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %9s %8s %10s %10s %10s %9s %9s %10s\n",
+		"family", "text", "mutants", "reload s", "snap s", "tb s", "snap-up", "tb-up", "matrix")
+	for _, r := range engRows {
+		eq := "IDENTICAL"
+		if !r.MatrixEqual {
+			eq = "DIVERGED"
+		}
+		fmt.Printf("%-8s %9d %8d %10.3f %10.3f %10.3f %8.2fx %8.2fx %10s\n",
+			r.Family, r.TextBytes, r.Mutants, r.InterpReloadSeconds,
+			r.InterpSnapSeconds, r.TBSnapSeconds, r.SnapSpeedup, r.TBSpeedup, eq)
+		if !r.MatrixEqual {
+			return fmt.Errorf("corpus: %s detection matrices diverged between engines", r.Family)
+		}
+	}
+
+	if full {
+		if err := writeBenchCorpus(rep, engRows); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("\nsmoke scale (n < 100): BENCH_corpus.json left to full-scale runs")
+	}
+	fmt.Println("\ndetection columns are deterministic per (family, seed, params-hash);")
+	fmt.Println("seconds columns are host wall clock. The snapshot and tb wins grow with")
+	fmt.Println("image size relative to workload length — see EXPERIMENTS.md for the")
+	fmt.Println("distribution discussion and where each effect appears or vanishes.")
+	return nil
+}
+
+// writeBenchCorpus records the sweep machine-readably: every program
+// record (seed + params hash + matrix fingerprint), the per-family
+// percentile distributions, and the big-image engine table.
+func writeBenchCorpus(rep *experiment.CorpusReport, engines []experiment.CorpusEngineRow) error {
+	out := struct {
+		*experiment.CorpusReport
+		EngineTable []experiment.CorpusEngineRow `json:"engine_table"`
+	}{rep, engines}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_corpus.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_corpus.json")
 	return nil
 }
 

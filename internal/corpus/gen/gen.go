@@ -1,0 +1,517 @@
+package gen
+
+import (
+	"fmt"
+
+	"parallax/internal/corpus"
+	"parallax/internal/ir"
+)
+
+// fnBytesEstimate is the empirically calibrated average encoded size
+// of one generated function (codegen + linker, default layout). The
+// planner divides the CodeKiB target by it to fix the function count;
+// TestGenSizeAccuracy holds the resulting text to ±15% of target.
+const fnBytesEstimate = 3220
+
+// hotCap bounds the hot (executed-every-run) function set regardless
+// of program size, so workload length — and with it per-mutant
+// campaign cost — stays roughly constant along the size axis while
+// text grows by decades.
+const hotCap = 64
+
+// Generate validates params and returns the generated program for the
+// (seed, params) pair. The returned Program plugs into every stage the
+// six hand-written programs do: Build is pure and deterministic, Stdin
+// is empty, and VerifyFunc names the generated chainable candidate.
+func Generate(seed uint64, p Params) (corpus.Program, error) {
+	if err := p.Validate(); err != nil {
+		return corpus.Program{}, err
+	}
+	return corpus.Program{
+		Name:       fmt.Sprintf("gen-%dk-m%d-s%d", p.CodeKiB, p.Modules, seed),
+		Build:      func() *ir.Module { return build(seed, p) },
+		Stdin:      nil,
+		VerifyFunc: "vfy",
+	}, nil
+}
+
+// FamilyProgram is Generate for a named preset; the program name is
+// keyed by family so goldens and bench records stay stable when preset
+// parameters evolve (the params hash catches that).
+func FamilyProgram(fam Family, seed uint64) (corpus.Program, error) {
+	prog, err := Generate(seed, fam.Params)
+	if err != nil {
+		return corpus.Program{}, err
+	}
+	prog.Name = fmt.Sprintf("gen-%s-s%d", fam.Name, seed)
+	return prog, nil
+}
+
+// --- deterministic rng ------------------------------------------------
+
+// rng is a splitmix64 stream: tiny, fast, and — unlike math/rand —
+// guaranteed stable across Go releases, which the goldens depend on.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	// Avoid the all-zero fixpoint and decorrelate nearby seeds.
+	return &rng{s: seed ^ 0x9E3779B97F4A7C15}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n); n must be positive.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pick returns an index into weights, drawn proportionally. The caller
+// guarantees the weights sum to a positive total.
+func (r *rng) pick(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	t := r.intn(total)
+	for i, w := range weights {
+		if t < w {
+			return i
+		}
+		t -= w
+	}
+	return len(weights) - 1
+}
+
+// --- program plan -----------------------------------------------------
+
+// plan is the deterministic skeleton fixed before any body is
+// generated: function names, module partition, hot set, and the hot
+// call chain. Bodies reference later functions (the call graph is a
+// strict forward DAG, so generated programs cannot recurse), which
+// requires the full name table up front.
+type plan struct {
+	p        Params
+	names    []string // function names in layout order
+	module   []int    // names[i] belongs to module module[i]
+	hot      map[int]bool
+	chain    []int // chain[i] = index of the hot function i calls next, -1 for none
+	tables   []string
+	tabSize  uint32
+	bufs     []string // one scratch buffer per module
+	coldflag string
+}
+
+// Info is the seed-independent skeleton of a generated program: the
+// plan depends only on Params (the rng shapes bodies, not structure),
+// so consumers like the sweep's per-region aggregation can classify
+// function symbols as hot or cold without re-deriving generator
+// internals.
+type Info struct {
+	Funcs  []string        // function names in layout order
+	Hot    map[string]bool // hot-chain membership
+	Module map[string]int  // owning module per function
+	Tables []string        // read-only table symbols
+}
+
+// Describe returns the skeleton for p.
+func Describe(p Params) (Info, error) {
+	if err := p.Validate(); err != nil {
+		return Info{}, err
+	}
+	pl := newPlan(p)
+	info := Info{
+		Funcs:  pl.names,
+		Hot:    make(map[string]bool, len(pl.hot)),
+		Module: make(map[string]int, len(pl.names)),
+		Tables: pl.tables,
+	}
+	for i, name := range pl.names {
+		info.Module[name] = pl.module[i]
+		if pl.hot[i] {
+			info.Hot[name] = true
+		}
+	}
+	return info, nil
+}
+
+func newPlan(p Params) *plan {
+	// vfy + main + table padding are fixed overhead outside the
+	// generated function budget; subtracting them keeps the smallest
+	// sizes on target too.
+	const fixedOverhead = 3000
+	targetBytes := p.CodeKiB*1024 - fixedOverhead
+	nfuncs := targetBytes / fnBytesEstimate
+	if min := 2 * p.Modules; nfuncs < min {
+		nfuncs = min
+	}
+	pl := &plan{
+		p:      p,
+		names:  make([]string, nfuncs),
+		module: make([]int, nfuncs),
+		hot:    make(map[int]bool),
+		chain:  make([]int, nfuncs),
+	}
+	for i := range pl.names {
+		m := i * p.Modules / nfuncs
+		pl.module[i] = m
+		pl.names[i] = fmt.Sprintf("m%d_f%04d", m, i)
+		pl.chain[i] = -1
+	}
+
+	// Hot set: distributed per module (every module owns hot code
+	// whenever the count allows, so the forward chain crosses every
+	// module boundary), evenly spaced inside each module's range.
+	hotCount := nfuncs * p.HotPct / 100
+	if hotCount < 2 {
+		hotCount = 2
+	}
+	if hotCount > hotCap {
+		hotCount = hotCap
+	}
+	if hotCount > nfuncs {
+		hotCount = nfuncs
+	}
+	var picks []int
+	if hotCount >= p.Modules {
+		for m := 0; m < p.Modules; m++ {
+			lo := (m*nfuncs + p.Modules - 1) / p.Modules
+			hi := ((m+1)*nfuncs + p.Modules - 1) / p.Modules
+			n := (m+1)*hotCount/p.Modules - m*hotCount/p.Modules
+			for j := 0; j < n; j++ {
+				idx := lo + j*(hi-lo)/n
+				if idx >= hi {
+					idx = hi - 1
+				}
+				picks = append(picks, idx)
+			}
+		}
+	} else {
+		for k := 0; k < hotCount; k++ {
+			picks = append(picks, k*nfuncs/hotCount)
+		}
+	}
+	prev := -1
+	for _, idx := range picks {
+		if pl.hot[idx] {
+			continue // rounding collision; the count is approximate anyway
+		}
+		pl.hot[idx] = true
+		if prev >= 0 {
+			pl.chain[prev] = idx
+		}
+		prev = idx
+	}
+
+	// Data: read-only tables (the constant density knob) and one
+	// writable scratch buffer per module.
+	if p.DataKiB < 4 {
+		pl.tabSize = uint32(p.DataKiB) * 1024
+		pl.tables = []string{"tab0"}
+	} else {
+		pl.tabSize = 4096
+		pl.tables = make([]string, p.DataKiB/4)
+		for i := range pl.tables {
+			pl.tables[i] = fmt.Sprintf("tab%d", i)
+		}
+	}
+	pl.bufs = make([]string, p.Modules)
+	for i := range pl.bufs {
+		pl.bufs[i] = fmt.Sprintf("buf%d", i)
+	}
+	pl.coldflag = "coldflag"
+	return pl
+}
+
+// hotEntry returns the first hot function index (the chain head main
+// invokes).
+func (pl *plan) hotEntry() int {
+	for i := range pl.names {
+		if pl.hot[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// --- module construction ----------------------------------------------
+
+// build constructs the module for (seed, p). It is a pure function:
+// one rng stream, consumed in a fixed order, no map iteration over
+// anything order-sensitive.
+func build(seed uint64, p Params) *ir.Module {
+	r := newRNG(seed)
+	pl := newPlan(p)
+	mb := ir.NewModule(fmt.Sprintf("gen%d", seed))
+
+	for _, t := range pl.tables {
+		mb.GlobalRO(t, tableData(r, int(pl.tabSize)))
+	}
+	for _, b := range pl.bufs {
+		mb.GlobalZero(b, 2048)
+	}
+	mb.GlobalZero(pl.coldflag, 4)
+
+	buildVerify(mb, r, pl)
+	for gi := range pl.names {
+		buildFunc(mb, r, pl, gi)
+	}
+	buildMain(mb, r, pl)
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// tableData fills a read-only table deterministically.
+func tableData(r *rng, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := r.next()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// buildVerify emits the verification candidate: a pure, loop-heavy
+// mixing function over the first constant table — the §VII-B profile
+// (short static body, substantial per-call work, no calls or syscalls,
+// so ropc.Chainable holds by construction).
+func buildVerify(mb *ir.ModuleBuilder, r *rng, pl *plan) {
+	fb := mb.Func("vfy", 2)
+	h := fb.Param(0)
+	off := fb.Param(1)
+	base := fb.Addr(pl.tables[0], 0)
+	prime := fb.Const(int32(r.next()) | 1)
+	rot := fb.Const(int32(3 + r.intn(13)))
+	mask8 := fb.Const(int32(pl.tabSize - 1))
+	i := fb.Const(0)
+	fb.Jmp("v.head")
+	fb.Block("v.head")
+	lim := fb.Const(64)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, "v.body", "v.done")
+	fb.Block("v.body")
+	idx := fb.And(fb.Add(off, fb.Shl(i, fb.Const(2))), mask8)
+	b := fb.Load8(fb.Add(base, idx))
+	fb.Assign(h, fb.Mul(fb.Xor(h, b), prime))
+	fb.Assign(h, fb.Xor(h, fb.Shr(h, rot)))
+	fb.Assign(h, fb.Add(h, fb.Shl(b, fb.Const(1+int32(r.intn(4))))))
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp("v.head")
+	fb.Block("v.done")
+	fb.Ret(h)
+}
+
+// bodyState carries the in-progress function body: the accumulator,
+// the operand pool, and naming for the generated blocks.
+type bodyState struct {
+	fb    *ir.FuncBuilder
+	acc   ir.Value
+	pool  []ir.Value
+	tag   int
+	depth int // diamond nesting depth, bounded to keep blocks sane
+}
+
+func (st *bodyState) operand(r *rng) ir.Value {
+	if r.intn(3) == 0 && len(st.pool) > 0 {
+		return st.pool[r.intn(len(st.pool))]
+	}
+	return st.fb.Const(int32(r.next()))
+}
+
+func (st *bodyState) remember(v ir.Value) {
+	if len(st.pool) < 8 {
+		st.pool = append(st.pool, v)
+	} else {
+		st.pool[len(st.pool)%8] = v
+	}
+}
+
+func (st *bodyState) nextTag(prefix string) string {
+	st.tag++
+	return fmt.Sprintf("%s%d", prefix, st.tag)
+}
+
+// buildFunc generates one compute function. Layout:
+//
+//	f(x):
+//	  acc = x mixed with straight-line ops
+//	  bounded loop over mix-drawn ops (loads, stores, ALU, diamonds,
+//	    cold-guarded calls)
+//	  hot-chain call (hot functions only, outside the loop, once)
+//	  ret acc
+//
+// Call discipline: every call targets a strictly later function index,
+// so the call graph is a DAG; hot functions execute at most once per
+// run via the chain; cold calls sit behind a load of the always-zero
+// coldflag, so cold bodies are linked, relocated, gadget-bearing code
+// that never executes.
+func buildFunc(mb *ir.ModuleBuilder, r *rng, pl *plan, gi int) {
+	fb := mb.Func(pl.names[gi], 1)
+	st := &bodyState{fb: fb, acc: fb.Copy(fb.Param(0))}
+
+	ops := 32 + r.intn(25) // per-function op budget, jittered
+	straight := ops / 4
+	for k := 0; k < straight; k++ {
+		emitOp(r, pl, st, gi, false)
+	}
+
+	iters := int32(4 + r.intn(8))
+	loopOps := ops - straight
+	loopTag := st.nextTag("l")
+	i := fb.Const(0)
+	fb.Jmp(loopTag + ".head")
+	fb.Block(loopTag + ".head")
+	lim := fb.Const(iters)
+	c := fb.Cmp(ir.ULt, i, lim)
+	fb.Br(c, loopTag+".body", loopTag+".done")
+	fb.Block(loopTag + ".body")
+	st.remember(i)
+	for k := 0; k < loopOps; k++ {
+		emitOp(r, pl, st, gi, true)
+	}
+	one := fb.Const(1)
+	fb.Assign(i, fb.Add(i, one))
+	fb.Jmp(loopTag + ".head")
+	fb.Block(loopTag + ".done")
+
+	if next := pl.chain[gi]; next >= 0 {
+		// The hot chain: executed exactly once per run, crossing module
+		// boundaries wherever the spacing puts the next hot function.
+		fb.Assign(st.acc, fb.Xor(st.acc, fb.Call(pl.names[next], st.acc)))
+	}
+	fb.Ret(st.acc)
+}
+
+// emitOp draws one operation class from the mix and emits it.
+func emitOp(r *rng, pl *plan, st *bodyState, gi int, inLoop bool) {
+	m := pl.p.Mix
+	fb := st.fb
+	switch r.pick([]int{m.ALU, m.Branch, m.Mem, m.Call, m.MulDiv}) {
+	case 0: // ALU
+		op := []ir.BinKind{ir.Add, ir.Sub, ir.Xor, ir.Or, ir.And, ir.Shl, ir.Shr, ir.Sar}[r.intn(8)]
+		v := st.operand(r)
+		if op == ir.Shl || op == ir.Shr || op == ir.Sar {
+			v = fb.Const(int32(1 + r.intn(7)))
+		}
+		res := fb.Bin(op, st.acc, v)
+		if r.intn(6) == 0 {
+			res = fb.Not(res)
+		}
+		fb.Assign(st.acc, res)
+		st.remember(res)
+	case 1: // Branch: a data-dependent diamond
+		if st.depth >= 2 {
+			fb.Assign(st.acc, fb.Add(st.acc, st.operand(r)))
+			return
+		}
+		st.depth++
+		tag := st.nextTag("d")
+		sel := fb.And(st.acc, fb.Const(int32(1+r.intn(15))))
+		cond := fb.Cmp([]ir.Pred{ir.Eq, ir.Ne, ir.ULt, ir.UGt}[r.intn(4)], sel, fb.Const(int32(r.intn(8))))
+		thenC, elseC := fb.Const(int32(r.next())), fb.Const(int32(r.next()))
+		fb.Br(cond, tag+".then", tag+".else")
+		fb.Block(tag + ".then")
+		fb.Assign(st.acc, fb.Xor(st.acc, thenC))
+		fb.Jmp(tag + ".join")
+		fb.Block(tag + ".else")
+		fb.Assign(st.acc, fb.Add(st.acc, elseC))
+		fb.Jmp(tag + ".join")
+		fb.Block(tag + ".join")
+		st.depth--
+	case 2: // Mem: table load or scratch store
+		if r.intn(3) != 0 {
+			t := pl.tables[r.intn(len(pl.tables))]
+			base := fb.Addr(t, 0)
+			var v ir.Value
+			if r.intn(2) == 0 {
+				off := fb.And(st.acc, fb.Const(int32(pl.tabSize-4)))
+				v = fb.Load(fb.Add(base, off))
+			} else {
+				off := fb.And(st.acc, fb.Const(int32(pl.tabSize-1)))
+				v = fb.Load8(fb.Add(base, off))
+			}
+			fb.Assign(st.acc, fb.Xor(st.acc, v))
+			st.remember(v)
+		} else {
+			buf := pl.bufs[pl.module[gi]]
+			base := fb.Addr(buf, 0)
+			off := fb.And(st.acc, fb.Const(2047))
+			fb.Store8(fb.Add(base, off), st.acc)
+		}
+	case 3: // Call: cold-guarded forward call
+		emitColdCall(r, pl, st, gi)
+	case 4: // MulDiv
+		switch r.intn(3) {
+		case 0:
+			fb.Assign(st.acc, fb.Mul(st.acc, fb.Const(int32(r.next())|1)))
+		case 1:
+			fb.Assign(st.acc, fb.Bin(ir.UDiv, st.acc, fb.Const(int32(3+r.intn(61)))))
+		default:
+			rem := fb.Bin(ir.URem, st.acc, fb.Const(int32(5+r.intn(59))))
+			fb.Assign(st.acc, fb.Add(st.acc, rem))
+			st.remember(rem)
+		}
+	}
+	_ = inLoop
+}
+
+// emitColdCall emits a call site behind the never-taken coldflag
+// guard. The callee is a strictly later cold function — real linked
+// code with real relocations that never executes, the bulk that makes
+// big images big.
+func emitColdCall(r *rng, pl *plan, st *bodyState, gi int) {
+	fb := st.fb
+	// Candidate cold targets after gi; give up (plain ALU) near the end.
+	span := len(pl.names) - gi - 1
+	if span <= 0 || st.depth >= 2 {
+		fb.Assign(st.acc, fb.Xor(st.acc, st.operand(r)))
+		return
+	}
+	target := gi + 1 + r.intn(span)
+	if pl.hot[target] {
+		// Never call into the hot chain from a guard: a broken guard
+		// (tampered mutant) re-entering hot code could recurse. Cold
+		// targets only; the adjacent index is cold whenever the spacing
+		// exceeds one, otherwise fall back to ALU.
+		if target+1 <= len(pl.names)-1 && !pl.hot[target+1] {
+			target = target + 1
+		} else {
+			fb.Assign(st.acc, fb.Xor(st.acc, st.operand(r)))
+			return
+		}
+	}
+	st.depth++
+	tag := st.nextTag("c")
+	flag := fb.Load(fb.Addr(pl.coldflag, 0))
+	cond := fb.Cmp(ir.Ne, flag, fb.Const(0))
+	fb.Br(cond, tag+".cold", tag+".join")
+	fb.Block(tag + ".cold")
+	fb.Assign(st.acc, fb.Xor(st.acc, fb.Call(pl.names[target], st.acc)))
+	fb.Jmp(tag + ".join")
+	fb.Block(tag + ".join")
+	st.depth--
+}
+
+// buildMain emits the entry point: seed the accumulator, run the
+// verification candidate a few times (so its chain is hot in the
+// protected build), fire the hot chain once, and exit with a small
+// deterministic status.
+func buildMain(mb *ir.ModuleBuilder, r *rng, pl *plan) {
+	fb := mb.Func("main", 0)
+	h := fb.Const(int32(r.next()))
+	h1 := fb.Call("vfy", h, fb.Const(0))
+	entry := fb.Call(pl.names[pl.hotEntry()], h1)
+	h2 := fb.Call("vfy", entry, fb.Const(128))
+	h3 := fb.Call("vfy", h2, fb.Const(256))
+	sum := fb.Add(fb.Add(h1, entry), fb.Add(h2, h3))
+	mask := fb.Const(0x7F)
+	st := fb.And(sum, mask)
+	fb.Syscall(1, st) // exit(status)
+	fb.RetVoid()
+}

@@ -1,0 +1,243 @@
+// Package gen is the seeded program-family generator: it turns a
+// (seed, Params) pair into a complete corpus program — an ir.Module in
+// the exact shape the six hand-written benchmark programs use — fully
+// deterministically, so the same pair always produces a byte-identical
+// image no matter the host, GOMAXPROCS, or how many other generations
+// run concurrently.
+//
+// The six hand-written programs are a demo; this package is the
+// population. Each Params axis is a knob over the properties the
+// paper's evaluation depends on:
+//
+//   - Mix: the instruction-mix profile (ALU / branch / memory /
+//     call / mul-div weights) that shapes which gadget classes the
+//     rewriting rules can hide in the code.
+//   - CodeKiB: target text size, 16 KiB to 4 MiB — three decades, the
+//     axis along which snapshot/restore and translation-cache effects
+//     become visible and chain coverage of the text dilutes.
+//   - HotPct: the hot/cold call-site split. Hot functions execute on
+//     every run (bounded, so workload length stays roughly constant
+//     across sizes); cold functions are real linked code behind a
+//     never-taken guard — bulk that only static protection sees.
+//   - DataKiB: data-constant density (read-only tables the generated
+//     code indexes, plus scratch buffers it stores through).
+//   - Modules: logical modules laid out as function clusters inside
+//     one image, wired together by cross-module calls and data
+//     references, so the linker emits cross-module relocations.
+//
+// Determinism is load-bearing: campaign goldens are keyed by
+// (family, seed, params-hash), checkpoint journals bind to the image
+// bytes, and the differential gates replay generated programs across
+// engines — all of which assume Generate is a pure function.
+package gen
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parameter bounds. Validate enforces these so hostile parameters
+// fail with a typed error instead of emitting a malformed or
+// pathologically expensive image.
+const (
+	MinCodeKiB = 16
+	MaxCodeKiB = 4096
+	MinDataKiB = 1
+	MaxDataKiB = 4096
+	MaxModules = 16
+	MaxWeight  = 64
+)
+
+// ErrBadParams is the sentinel every parameter-validation failure
+// wraps; errors.Is(err, ErrBadParams) distinguishes "caller handed us
+// junk" from generator bugs.
+var ErrBadParams = errors.New("gen: bad params")
+
+// ParamError is the typed validation failure: which field, what value,
+// why. It wraps ErrBadParams.
+type ParamError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("gen: bad params: %s=%d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBadParams) hold for every ParamError.
+func (e *ParamError) Unwrap() error { return ErrBadParams }
+
+func paramErr(field string, value int, reason string) error {
+	return &ParamError{Field: field, Value: value, Reason: reason}
+}
+
+// Mix is the instruction-mix profile: relative weights of the
+// operation classes drawn while generating function bodies. Weights
+// are normalized internally; only their ratios matter. A zero weight
+// disables the class entirely.
+type Mix struct {
+	// ALU weights plain arithmetic/logic (add/sub/xor/shift...).
+	ALU int
+	// Branch weights data-dependent diamonds (cmp + conditional).
+	Branch int
+	// Mem weights loads from the read-only tables and stores through
+	// the scratch buffers — the "string/byte-scanning" profile.
+	Mem int
+	// Call weights call sites (hot-chain and cold-guarded).
+	Call int
+	// MulDiv weights multiply and divide operations, the gadget
+	// classes the difftest generator found richest in flag bugs.
+	MulDiv int
+}
+
+// DefaultMix approximates the hand-written corpus programs: ALU-heavy
+// with regular branches and memory traffic.
+func DefaultMix() Mix { return Mix{ALU: 6, Branch: 2, Mem: 3, Call: 1, MulDiv: 1} }
+
+// total returns the weight sum (valid mixes have total > 0).
+func (m Mix) total() int { return m.ALU + m.Branch + m.Mem + m.Call + m.MulDiv }
+
+// validate checks every weight is in [0, MaxWeight] and at least one
+// non-call class is enabled (a program of only call sites has no
+// bodies to call into).
+func (m Mix) validate() error {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"Mix.ALU", m.ALU}, {"Mix.Branch", m.Branch}, {"Mix.Mem", m.Mem},
+		{"Mix.Call", m.Call}, {"Mix.MulDiv", m.MulDiv},
+	}
+	for _, f := range fields {
+		if f.v < 0 {
+			return paramErr(f.name, f.v, "negative weight")
+		}
+		if f.v > MaxWeight {
+			return paramErr(f.name, f.v, fmt.Sprintf("weight above %d", MaxWeight))
+		}
+	}
+	if m.total() == 0 {
+		return paramErr("Mix", 0, "all weights zero")
+	}
+	if m.ALU+m.Branch+m.Mem+m.MulDiv == 0 {
+		return paramErr("Mix", m.Call, "only Call weighted: no computational classes enabled")
+	}
+	return nil
+}
+
+// Params parameterizes one program family.
+type Params struct {
+	// Modules is the logical module count (function clusters with
+	// cross-module calls and data references), 1..MaxModules.
+	Modules int
+	// CodeKiB is the target text size in KiB, MinCodeKiB..MaxCodeKiB.
+	// The generated text lands within ~15% of the target.
+	CodeKiB int
+	// DataKiB sizes the read-only constant tables, MinDataKiB..MaxDataKiB.
+	DataKiB int
+	// HotPct is the percentage of functions placed in the hot
+	// (executed-every-run) set, 1..100. The hot set is additionally
+	// capped so workload length stays bounded as CodeKiB grows.
+	HotPct int
+	// Mix is the instruction-mix profile.
+	Mix Mix
+}
+
+// Validate checks every parameter against its bounds. All failures
+// are *ParamError wrapping ErrBadParams.
+func (p Params) Validate() error {
+	if p.Modules < 1 || p.Modules > MaxModules {
+		return paramErr("Modules", p.Modules,
+			fmt.Sprintf("outside [1,%d]", MaxModules))
+	}
+	if p.CodeKiB < MinCodeKiB || p.CodeKiB > MaxCodeKiB {
+		return paramErr("CodeKiB", p.CodeKiB,
+			fmt.Sprintf("outside [%d,%d]", MinCodeKiB, MaxCodeKiB))
+	}
+	if p.DataKiB < MinDataKiB || p.DataKiB > MaxDataKiB {
+		return paramErr("DataKiB", p.DataKiB,
+			fmt.Sprintf("outside [%d,%d]", MinDataKiB, MaxDataKiB))
+	}
+	if p.HotPct < 1 || p.HotPct > 100 {
+		return paramErr("HotPct", p.HotPct, "outside [1,100]")
+	}
+	if err := p.Mix.validate(); err != nil {
+		return err
+	}
+	// A module needs at least a handful of functions to cluster; with
+	// ~fnBytes bytes per function the floor below guarantees every
+	// module owns at least two.
+	if max := p.CodeKiB * 1024 / (2 * fnBytesEstimate); p.Modules > max {
+		return paramErr("Modules", p.Modules,
+			fmt.Sprintf("too many modules for %d KiB of code (max %d)", p.CodeKiB, max))
+	}
+	return nil
+}
+
+// Hash returns a stable fingerprint of the parameter tuple, used to
+// key campaign goldens and bench records: any field change changes the
+// hash, and the encoding is canonical (no map iteration, no floats).
+func (p Params) Hash() string {
+	h := uint64(0xcbf29ce484222325) // FNV-1a 64 offset basis
+	mix := func(v int) {
+		h ^= uint64(uint32(v))
+		h *= 0x100000001b3
+	}
+	mix(p.Modules)
+	mix(p.CodeKiB)
+	mix(p.DataKiB)
+	mix(p.HotPct)
+	mix(p.Mix.ALU)
+	mix(p.Mix.Branch)
+	mix(p.Mix.Mem)
+	mix(p.Mix.Call)
+	mix(p.Mix.MulDiv)
+	return fmt.Sprintf("%016x", h)
+}
+
+// Family is a named parameter preset; the sweep and the goldens
+// iterate families × seeds.
+type Family struct {
+	Name   string
+	Params Params
+}
+
+// Families returns the standard presets: the size axis (three decades,
+// 16 KiB to 4 MiB) under the default mix, plus mix- and
+// structure-variant families at the small size where sweeps are cheap.
+func Families() []Family {
+	size := func(name string, kib, modules int) Family {
+		return Family{Name: name, Params: Params{
+			Modules: modules, CodeKiB: kib, DataKiB: 16, HotPct: 25, Mix: DefaultMix(),
+		}}
+	}
+	withMix := func(name string, m Mix) Family {
+		return Family{Name: name, Params: Params{
+			Modules: 2, CodeKiB: MinCodeKiB, DataKiB: 16, HotPct: 25, Mix: m,
+		}}
+	}
+	return []Family{
+		size("tiny", 16, 2),     // 16 KiB — the lockstep-gate family
+		size("small", 160, 2),   // one decade up
+		size("medium", 1600, 4), // two decades up
+		size("huge", 4096, 8),   // the 4 MiB ceiling, 8 modules
+		withMix("branchy", Mix{ALU: 3, Branch: 6, Mem: 2, Call: 1, MulDiv: 0}),
+		withMix("stringy", Mix{ALU: 2, Branch: 1, Mem: 7, Call: 1, MulDiv: 0}),
+		withMix("muldiv", Mix{ALU: 3, Branch: 1, Mem: 1, Call: 1, MulDiv: 5}),
+		{Name: "callheavy", Params: Params{
+			Modules: 4, CodeKiB: 64, DataKiB: 8, HotPct: 60,
+			Mix: Mix{ALU: 3, Branch: 1, Mem: 1, Call: 5, MulDiv: 0},
+		}},
+	}
+}
+
+// FamilyByName returns the named preset.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("gen: unknown family %q", name)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is active; the corpus
+// sweep test trims its program budget under the detector.
+const raceEnabled = true

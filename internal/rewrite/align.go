@@ -85,7 +85,7 @@ func alignWith(obj *image.Object, padFunc *image.Func, target string,
 		// displacement.
 		text := img.Text()
 		cover := make([]bool, len(text.Data))
-		if !markGadgetsEndingAt(text.Data, int(retAddr-text.Addr), cover) {
+		if !markGadgetsEndingAt(text.Data, 0, int(retAddr-text.Addr), cover) {
 			continue
 		}
 		res := &AlignResult{

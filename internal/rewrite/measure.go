@@ -265,10 +265,33 @@ func immField(in *x86.Inst, start int) (pos, size int) {
 	return start + in.Len - size, size
 }
 
+// hypoWindow copies the slice of code a hypothetical gadget at
+// [pos, pos+size) can possibly involve: chains start at most backWindow
+// bytes before the crafted ret (which sits inside the field), and a
+// decode from any candidate start can read at most one architectural
+// instruction length past it. Copying only this window is what keeps
+// Measure linear in text size — the previous whole-code copy per
+// (site, pattern, shift) attempt made Figure 6 measurement quadratic,
+// which the multi-MiB generated corpus turned from invisible into
+// hours.
+func hypoWindow(code []byte, pos, size int) (work []byte, base int) {
+	lo := pos - backWindow
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + size + maxInstLenReach
+	if hi > len(code) {
+		hi = len(code)
+	}
+	return append([]byte(nil), code[lo:hi]...), lo
+}
+
 // measureEmbed tries the pattern library inside an immediate field at
 // [pos, pos+size) and accumulates the best hypothetical gadget
 // coverage. Returns true if any pattern yields a gadget.
 func measureEmbed(code []byte, pos, size int, cover []bool) bool {
+	work, base := hypoWindow(code, pos, size)
+	rel := pos - base
 	found := false
 	for _, pat := range immPatterns {
 		if len(pat) > size {
@@ -276,13 +299,12 @@ func measureEmbed(code []byte, pos, size int, cover []bool) bool {
 		}
 		// Place the pattern at every offset inside the field.
 		for shift := 0; shift+len(pat) <= size; shift++ {
-			work := append([]byte(nil), code...)
-			for i := range work[pos : pos+size] {
-				work[pos+i] = 0x90 // filler decodes as nop
+			for i := 0; i < size; i++ {
+				work[rel+i] = 0x90 // filler decodes as nop
 			}
-			copy(work[pos+shift:], pat)
-			retPos := pos + shift + len(pat) - 1
-			if markGadgetsEndingAt(work, retPos, cover) {
+			copy(work[rel+shift:], pat)
+			retPos := rel + shift + len(pat) - 1
+			if markGadgetsEndingAt(work, base, retPos, cover) {
 				found = true
 			}
 		}
@@ -296,15 +318,15 @@ func measureForcedRet(code []byte, pos int, cover []bool) bool {
 	if pos < 0 || pos >= len(code) {
 		return false
 	}
-	work := append([]byte(nil), code...)
-	work[pos] = 0xC3
-	return markGadgetsEndingAt(work, pos, cover)
+	work, base := hypoWindow(code, pos, 1)
+	work[pos-base] = 0xC3
+	return markGadgetsEndingAt(work, base, pos-base, cover)
 }
 
 // markGadgetsEndingAt finds every decode chain of at most six
-// instructions that terminates in the ret at retPos, marking the
-// covered bytes.
-func markGadgetsEndingAt(work []byte, retPos int, cover []bool) bool {
+// instructions that terminates in the ret at retPos (an offset into
+// work; base maps it back into the full code for coverage marking).
+func markGadgetsEndingAt(work []byte, base, retPos int, cover []bool) bool {
 	if retPos >= len(work) || work[retPos] != 0xC3 {
 		return false
 	}
@@ -316,7 +338,7 @@ func markGadgetsEndingAt(work []byte, retPos int, cover []bool) bool {
 	for start := lo; start <= retPos; start++ {
 		if decodesToRetAt(work, start, retPos) {
 			for i := start; i <= retPos; i++ {
-				cover[i] = true
+				cover[base+i] = true
 			}
 			found = true
 		}

@@ -1,0 +1,159 @@
+package rewrite
+
+import (
+	"testing"
+
+	"parallax/internal/image"
+)
+
+// The hypothetical-gadget helpers copy only the window a crafted chain
+// can occupy (hypoWindow) instead of the whole text per attempt — the
+// difference between Measure being linear and quadratic in text size.
+// These tests pin the windowed helpers to a whole-code reference
+// implementation byte for byte, so the optimization can never drift
+// from the semantics it replaced.
+
+// refMeasureEmbed is the original whole-code-copy implementation of
+// measureEmbed, kept as the oracle.
+func refMeasureEmbed(code []byte, pos, size int, cover []bool) bool {
+	found := false
+	for _, pat := range immPatterns {
+		if len(pat) > size {
+			continue
+		}
+		for shift := 0; shift+len(pat) <= size; shift++ {
+			work := append([]byte(nil), code...)
+			for i := range work[pos : pos+size] {
+				work[pos+i] = 0x90
+			}
+			copy(work[pos+shift:], pat)
+			retPos := pos + shift + len(pat) - 1
+			if markGadgetsEndingAt(work, 0, retPos, cover) {
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// refMeasureForcedRet is the original whole-code-copy implementation of
+// measureForcedRet.
+func refMeasureForcedRet(code []byte, pos int, cover []bool) bool {
+	if pos < 0 || pos >= len(code) {
+		return false
+	}
+	work := append([]byte(nil), code...)
+	work[pos] = 0xC3
+	return markGadgetsEndingAt(work, 0, pos, cover)
+}
+
+// synthCode generates deterministic pseudo-x86 byte soup: mostly
+// plausible opcode bytes with planted rets, so decode chains of every
+// outcome (clean, truncated, branch-poisoned) appear near the probed
+// sites.
+func synthCode(n int, seed uint64) []byte {
+	code := make([]byte, n)
+	s := seed
+	for i := range code {
+		// splitmix64 step, stable across Go releases.
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		code[i] = byte(z)
+		switch z % 11 {
+		case 0:
+			code[i] = 0xC3 // ret
+		case 1:
+			code[i] = 0x90 // nop
+		case 2:
+			code[i] = 0x58 // pop eax
+		}
+	}
+	return code
+}
+
+func TestMeasureEmbedMatchesWholeCodeReference(t *testing.T) {
+	for _, n := range []int{64, 1024, 8192} {
+		code := synthCode(n, uint64(n))
+		for pos := 0; pos+4 <= n; pos += 3 {
+			for _, size := range []int{1, 2, 4} {
+				if pos+size > n {
+					continue
+				}
+				gotCover := make([]bool, n)
+				wantCover := make([]bool, n)
+				got := measureEmbed(code, pos, size, gotCover)
+				want := refMeasureEmbed(code, pos, size, wantCover)
+				if got != want {
+					t.Fatalf("n=%d pos=%d size=%d: found=%v, reference=%v", n, pos, size, got, want)
+				}
+				for i := range gotCover {
+					if gotCover[i] != wantCover[i] {
+						t.Fatalf("n=%d pos=%d size=%d: cover[%d]=%v, reference=%v",
+							n, pos, size, i, gotCover[i], wantCover[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMeasureForcedRetMatchesWholeCodeReference(t *testing.T) {
+	n := 4096
+	code := synthCode(n, 7)
+	for pos := 0; pos < n; pos += 2 {
+		gotCover := make([]bool, n)
+		wantCover := make([]bool, n)
+		got := measureForcedRet(code, pos, gotCover)
+		want := refMeasureForcedRet(code, pos, wantCover)
+		if got != want {
+			t.Fatalf("pos=%d: found=%v, reference=%v", pos, got, want)
+		}
+		for i := range gotCover {
+			if gotCover[i] != wantCover[i] {
+				t.Fatalf("pos=%d: cover[%d]=%v, reference=%v", pos, i, gotCover[i], wantCover[i])
+			}
+		}
+	}
+}
+
+// BenchmarkMeasureSynthetic documents Measure's cost growth: doubling
+// the text size must roughly double, not quadruple, the per-op time
+// (run with -bench Measure to compare sizes).
+func BenchmarkMeasureSynthetic(b *testing.B) {
+	for _, kib := range []int{64, 128, 256} {
+		code := synthCode(kib*1024, uint64(kib))
+		img := imageFromText(code)
+		b.Run(benchName(kib), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Measure(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// imageFromText wraps raw code bytes into a minimal executable image.
+func imageFromText(code []byte) *image.Image {
+	return &image.Image{
+		Entry: 0x1000,
+		Sections: []*image.Section{{
+			Name: ".text", Addr: 0x1000, Data: code,
+			Size: uint32(len(code)), Perm: image.PermR | image.PermX,
+		}},
+	}
+}
+
+func benchName(kib int) string {
+	switch kib {
+	case 64:
+		return "64KiB"
+	case 128:
+		return "128KiB"
+	default:
+		return "256KiB"
+	}
+}
