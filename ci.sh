@@ -54,25 +54,35 @@ go test -race ./internal/chaos
 go test -race -run 'TestChaos|TestCheckpoint|TestRetryDeadline|TestTightDeadline' \
     ./internal/campaign ./internal/farm ./internal/emu/tb
 
-# Campaign-throughput smoke: run the same enumerated wget campaign
-# through the clone+reload path and the snapshot/restore path. The
-# detection matrices must be byte-identical (hard gate), and the
-# snapshot engine must be at least as fast as reloading per mutant.
-# Per-mutant time is dominated by emulation, which both paths share
-# (see EXPERIMENTS.md), so the speed check allows 10% of wall-clock
-# noise rather than failing on scheduler jitter.
-echo "==> campaign-throughput smoke (snapshot vs reload)"
+# Campaign-engine hard gate: run the same enumerated wget campaign
+# through all three execution configurations — interpreter
+# clone+reload, interpreter snapshot/restore, and the default tb engine
+# with the campaign-wide shared translation catalog. The detection
+# matrices must be byte-identical across all three (the experiment
+# itself exits non-zero and the IDENTICAL grep double-checks), and the
+# default configuration must be at least as fast as reloading per
+# mutant. Per-mutant time is dominated by emulation, so the speed check
+# allows 10% of wall-clock noise rather than failing on scheduler
+# jitter; column 6 is reload-over-tb.
+echo "==> campaign-engine gate (tb + shared catalog vs interp, byte-identical matrices)"
 engine_out=$(go run ./cmd/parallax-bench -experiment campaign-engine -progs wget -mutants 96)
 echo "$engine_out"
 if ! grep -q "IDENTICAL" <<<"$engine_out"; then
     echo "FAIL: campaign engines produced divergent detection matrices" >&2
     exit 1
 fi
-speedup=$(awk '/^wget / {gsub(/x$/,"",$5); print $5}' <<<"$engine_out")
+speedup=$(awk '/^wget / {gsub(/x$/,"",$6); print $6}' <<<"$engine_out")
 if [[ -z "$speedup" ]] || awk -v s="$speedup" 'BEGIN { exit !(s < 0.90) }'; then
-    echo "FAIL: snapshot engine slower than reload (speedup ${speedup:-unparsed}x)" >&2
+    echo "FAIL: tb engine slower than interp clone+reload (speedup ${speedup:-unparsed}x)" >&2
     exit 1
 fi
+
+# Shared-catalog race smoke: the catalog's concurrent adopt/install
+# paths across 4 campaign workers (plus the SMC and reload variants)
+# under the detector.
+echo "==> shared-catalog smoke (-race)"
+go test -race -run 'TestDifferentialEngines|TestCatalog' \
+    ./internal/campaign ./internal/emu/tb
 
 # Corpus-at-scale smoke: a trimmed generated-family sweep (8 programs,
 # all stages — generate, invariant-check, baseline, protect, campaign —

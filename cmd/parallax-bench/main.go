@@ -10,7 +10,7 @@
 //	parallax-bench -experiment prob     probabilistic variant counts (§V-B)
 //	parallax-bench -experiment farm     batch-protection throughput + cache hit rate
 //	parallax-bench -experiment campaign tamper-campaign detection matrix
-//	parallax-bench -experiment campaign-engine  snapshot/restore vs clone+reload mutant execution
+//	parallax-bench -experiment campaign-engine  tb + shared catalog vs interp mutant execution
 //	parallax-bench -experiment obs      protect-pipeline per-stage timing (internal/obs)
 //	parallax-bench -experiment difftest differential-oracle engine throughput + divergence gate
 //	parallax-bench -experiment corpus   generated-corpus sweep: detection/overhead distributions
@@ -564,12 +564,13 @@ func campaignExperiment(progs string) error {
 	return nil
 }
 
-// campaignEngineExperiment compares the campaign's two execution
-// engines — clone+reload per mutant versus snapshot/restore of one
-// emulator per worker — on the same enumerated mutant set. Matrices
-// must be byte-identical; wall-clock speedup is host-dependent.
+// campaignEngineExperiment compares the campaign's execution
+// configurations — interpreter clone+reload, interpreter
+// snapshot/restore, and the default tb engine with the shared
+// translation catalog — on the same enumerated mutant set. Matrices
+// must be byte-identical; wall-clock speedups are host-dependent.
 func campaignEngineExperiment(progs string, mutants int) error {
-	header("campaign-engine — snapshot/restore vs clone+reload")
+	header("campaign-engine — tb + shared catalog vs interp snapshot vs clone+reload")
 	var names []string
 	for _, n := range strings.Split(progs, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -584,22 +585,24 @@ func campaignEngineExperiment(progs string, mutants int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %8s %10s %10s %9s %8s\n",
-		"program", "mutants", "reload s", "snap s", "speedup", "matrix")
+	fmt.Printf("%-8s %8s %10s %10s %10s %9s %9s %7s %10s\n",
+		"program", "mutants", "reload s", "snap s", "tb s", "speedup", "tb-gain", "cat-hit", "matrix")
 	for _, r := range rows {
 		eq := "IDENTICAL"
 		if !r.MatrixEqual {
 			eq = "DIVERGED"
 		}
-		fmt.Printf("%-8s %8d %10.3f %10.3f %8.2fx %8s\n",
-			r.Program, r.Mutants, r.ReloadSeconds, r.SnapSeconds, r.Speedup, eq)
+		fmt.Printf("%-8s %8d %10.3f %10.3f %10.3f %8.2fx %8.2fx %6.1f%% %10s\n",
+			r.Program, r.Mutants, r.ReloadSeconds, r.SnapSeconds, r.TBSeconds,
+			r.Speedup, r.TBSpeedup, 100*r.CatalogHitRate, eq)
 		if !r.MatrixEqual {
-			return fmt.Errorf("campaign-engine: %s detection matrices diverged between paths", r.Program)
+			return fmt.Errorf("campaign-engine: %s detection matrices diverged between configurations", r.Program)
 		}
 	}
-	fmt.Println("\nthe snapshot engine loads the image once per worker and restores only")
-	fmt.Println("dirty 4 KiB pages between mutants; serial-divergence mutants still take")
-	fmt.Println("the loader path. Classifications are differentially tested to match.")
+	fmt.Println("\nspeedup = interp clone+reload over tb; tb-gain = interp snapshot over tb.")
+	fmt.Println("cat-hit = catalog adoptions over block lookups: mutants re-translate only")
+	fmt.Println("the blocks their patch touched and adopt the rest from other workers.")
+	fmt.Println("Classifications are differentially tested to match across all three.")
 	return nil
 }
 

@@ -29,7 +29,7 @@ func cmdBatch(args []string) error {
 	outDir := fs.String("o", "", "directory to save protected images into (optional)")
 	metrics := fs.Bool("metrics", false, "collect farm/pipeline metrics and print them after the batch")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
-	engine := fs.String("engine", "interp", "execution backend for protection-time emulation: interp|tb")
+	engine := engineFlag(fs, "protection-time emulation")
 	fs.Parse(args)
 
 	var programs []corpus.Program
@@ -55,8 +55,8 @@ func cmdBatch(args []string) error {
 	if *rounds < 1 {
 		return fmt.Errorf("%w: -rounds must be >= 1", errUsage)
 	}
-	if *engine != "interp" && *engine != "tb" {
-		return usagef("bad -engine %q (want interp|tb)", *engine)
+	if err := parseEngine(*engine); err != nil {
+		return err
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o777); err != nil {

@@ -32,7 +32,7 @@ func cmdCampaign(args []string) error {
 	reuseVM := fs.Bool("reuse-vm", true, "reuse one emulator per worker via snapshot/restore (false = clone+reload per mutant)")
 	metrics := fs.Bool("metrics", false, "collect pipeline/emulator/farm metrics and print them after the matrix")
 	metricsFormat := fs.String("metrics-format", "json", "metrics output format: json|table")
-	engine := fs.String("engine", "interp", "mutant execution backend: interp|tb (translation-block engine)")
+	engine := engineFlag(fs, "mutant execution")
 	checkpoint := fs.String("checkpoint", "", "append-only resume journal: a killed campaign re-run with the same flags and journal resumes where it stopped")
 	chaosSpec := fs.String("chaos", "", "fault-injection plan, comma-separated point:prob[:count[:delay]] entries (e.g. campaign.mutant:0.05,emu.budget:0.01:4)")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection plan")
@@ -54,8 +54,8 @@ func cmdCampaign(args []string) error {
 	if *metricsFormat != "json" && *metricsFormat != "table" {
 		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
 	}
-	if *engine != "interp" && *engine != "tb" {
-		return usagef("bad -engine %q (want interp|tb)", *engine)
+	if err := parseEngine(*engine); err != nil {
+		return err
 	}
 
 	// With -metrics the protection runs through a one-shot farm so the

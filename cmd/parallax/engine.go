@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"strings"
+)
+
+// engineNames is the single registry of execution backends a -engine
+// flag accepts, in usage-string order. Adding a backend here updates
+// every command's flag help and validation at once.
+var engineNames = []string{"interp", "tb"}
+
+// defaultEngine is the backend every command runs when -engine is not
+// given. The translation-block engine is the default: it is
+// differentially tested in lockstep against the interpreter, produces
+// byte-identical campaign detection matrices (ci.sh gates on that),
+// and its shared translation catalog makes MiB-scale campaigns
+// severalfold faster (EXPERIMENTS.md).
+const defaultEngine = "tb"
+
+// engineFlag registers the -engine flag on fs with the shared default
+// and a usage string derived from the registry. context describes what
+// the engine is used for in this command (e.g. "mutant execution").
+func engineFlag(fs *flag.FlagSet, context string) *string {
+	return fs.String("engine", defaultEngine,
+		context+" backend: "+strings.Join(engineNames, "|"))
+}
+
+// parseEngine validates a parsed -engine value against the registry.
+func parseEngine(v string) error {
+	for _, n := range engineNames {
+		if v == n {
+			return nil
+		}
+	}
+	return usagef("bad -engine %q (want %s)", v, strings.Join(engineNames, "|"))
+}

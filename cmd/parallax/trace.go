@@ -35,13 +35,13 @@ func cmdTrace(args []string) error {
 	asJSON := fs.Bool("json", false, "print events as JSON instead of text lines")
 	withMetrics := fs.Bool("metrics", false, "print the run's metrics after the events")
 	metricsFormat := fs.String("metrics-format", "table", "metrics output format: json|table")
-	engine := fs.String("engine", "interp", "execution backend: interp|tb (translation-block engine)")
+	engine := engineFlag(fs, "execution")
 	fs.Parse(args)
 	if *metricsFormat != "json" && *metricsFormat != "table" {
 		return usagef("bad -metrics-format %q (want json|table)", *metricsFormat)
 	}
-	if *engine != "interp" && *engine != "tb" {
-		return usagef("bad -engine %q (want interp|tb)", *engine)
+	if err := parseEngine(*engine); err != nil {
+		return err
 	}
 
 	var img *image.Image

@@ -183,6 +183,12 @@ type RunConfig struct {
 	// interpreter, "tb" the translation-block engine (internal/emu/tb).
 	// Any other value fails the run.
 	Engine string
+	// Catalog, when non-nil and Engine is "tb", attaches the shared
+	// translation catalog to the run's engine: translations of
+	// identical code bytes are adopted from (and published for) every
+	// other run sharing the catalog. Ignored when Exec drives the run —
+	// a persistent engine carries its own catalog.
+	Catalog *tb.Catalog
 	// Exec, when non-nil, drives the run instead of the backend Engine
 	// selects: RunWith calls Exec.RunContext against the (possibly
 	// reused) CPU. The campaign path passes a persistent tb.Engine
@@ -238,7 +244,7 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 	case cfg.Exec != nil:
 		run = cfg.Exec.RunContext
 	case cfg.Engine == "tb":
-		eng := tb.New(cpu, cfg.Obs)
+		eng := tb.NewWithCatalog(cpu, cfg.Obs, cfg.Catalog)
 		defer eng.Close()
 		run = eng.RunContext
 	case cfg.Engine != "" && cfg.Engine != "interp":

@@ -98,6 +98,14 @@ type Config struct {
 	// recorded cells — a killed campaign resumes where it stopped and
 	// produces a byte-identical final matrix.
 	Checkpoint string
+
+	// cat is the campaign's shared translation catalog, created by
+	// withDefaults when Engine is "tb" and threaded to the clean run
+	// and every worker engine on both execution paths. A one-byte
+	// mutant re-translates only the blocks its patch touched; the
+	// other ~99% are adopted from whichever worker translated them
+	// first (see internal/emu/tb's catalog coherence story).
+	cat *tb.Catalog
 }
 
 func (cfg Config) withDefaults() Config {
@@ -119,6 +127,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Kinds == nil {
 		cfg.Kinds = AllKinds()
 	}
+	if cfg.Engine == "tb" && cfg.cat == nil {
+		cfg.cat = tb.NewCatalog()
+	}
 	return cfg
 }
 
@@ -137,7 +148,7 @@ func Run(ctx context.Context, prot *core.Protected, cfg Config) (*Report, error)
 	clean := attack.RunWith(ctx, prot.Image, attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs, Engine: cfg.Engine,
+		Obs: cfg.Obs, Engine: cfg.Engine, Catalog: cfg.cat,
 	})
 	if clean.Err != nil {
 		return nil, fmt.Errorf("campaign: clean reference run failed: %w", clean.Err)
@@ -303,7 +314,7 @@ func newVMEngine(base *image.Image, cfg Config) *vmEngine {
 	}
 	eng := &vmEngine{cpu: cpu, snap: cpu.Snapshot()}
 	if cfg.Engine == "tb" {
-		eng.tbe = tb.New(cpu, cfg.Obs)
+		eng.tbe = tb.NewWithCatalog(cpu, cfg.Obs, cfg.cat)
 	}
 	return eng
 }
@@ -369,7 +380,7 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 	runCfg := attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs, Engine: cfg.Engine, Chaos: cfg.Chaos,
+		Obs: cfg.Obs, Engine: cfg.Engine, Catalog: cfg.cat, Chaos: cfg.Chaos,
 	}
 
 	var img *image.Image

@@ -11,6 +11,7 @@ import (
 	"parallax/internal/chain"
 	"parallax/internal/codegen"
 	"parallax/internal/dyngen"
+	"parallax/internal/emu/tb"
 	"parallax/internal/gadget"
 	"parallax/internal/image"
 	"parallax/internal/ir"
@@ -39,6 +40,11 @@ type Options struct {
 	// the engines are differentially tested in lockstep — so this
 	// only trades profiling wall-clock.
 	Engine string
+	// TBCatalog, when non-nil and Engine is "tb", shares translations
+	// between this run's engine and every other engine attached to the
+	// same catalog — the farm attaches one per Farm so repeated
+	// profiling of identical module bytes decodes them once.
+	TBCatalog *tb.Catalog
 
 	// PoolCopies replicates the fallback gadget pool; values below 1
 	// mean 2 (two copies give probabilistic generation room to vary).
@@ -156,7 +162,7 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 
 	verify := append([]string(nil), opts.VerifyFuncs...)
 	if opts.AutoSelect {
-		sel, err := selectVerificationFunc(m, opts.Workload, opts.Engine)
+		sel, err := selectVerificationFunc(m, opts.Workload, opts.Engine, opts.TBCatalog)
 		if err != nil {
 			return nil, fmt.Errorf("core: auto-select: %w", err)
 		}

@@ -25,13 +25,14 @@ import (
 // Only chain-compilable functions (no calls, no syscalls, not the
 // entry) are considered.
 func SelectVerificationFunc(m *ir.Module, workload []byte) (string, error) {
-	return selectVerificationFunc(m, workload, "")
+	return selectVerificationFunc(m, workload, "", nil)
 }
 
 // selectVerificationFunc is SelectVerificationFunc with an explicit
-// execution backend for the profile run (Options.Engine semantics).
-func selectVerificationFunc(m *ir.Module, workload []byte, engine string) (string, error) {
-	report, err := ProfileModuleEngine(m, workload, engine)
+// execution backend for the profile run (Options.Engine semantics) and
+// an optional shared translation catalog for that backend.
+func selectVerificationFunc(m *ir.Module, workload []byte, engine string, cat *tb.Catalog) (string, error) {
+	report, err := profileModule(m, workload, engine, cat)
 	if err != nil {
 		return "", err
 	}
@@ -77,6 +78,13 @@ func ProfileModule(m *ir.Module, workload []byte) (*ProfileReport, error) {
 // interpreter's per-address hit counting so the resulting profile is
 // identical — only the wall-clock differs.
 func ProfileModuleEngine(m *ir.Module, workload []byte, engine string) (*ProfileReport, error) {
+	return profileModule(m, workload, engine, nil)
+}
+
+// profileModule is ProfileModuleEngine with an optional shared
+// translation catalog for the tb backend: a farm profiling the same
+// module bytes across jobs pays the decode+compile cost once.
+func profileModule(m *ir.Module, workload []byte, engine string, cat *tb.Catalog) (*ProfileReport, error) {
 	img, err := codegen.Build(m, image.Layout{})
 	if err != nil {
 		return nil, err
@@ -92,7 +100,7 @@ func ProfileModuleEngine(m *ir.Module, workload []byte, engine string) (*Profile
 	case "", "interp":
 		runErr = cpu.Run()
 	case "tb":
-		eng := tb.New(cpu, nil)
+		eng := tb.NewWithCatalog(cpu, nil, cat)
 		runErr = eng.Run()
 		eng.Close()
 	default:

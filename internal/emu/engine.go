@@ -41,6 +41,12 @@ func (c *CPU) Pop32() (uint32, error) { return c.pop32() }
 // translations must flush them wholesale when this version moves.
 func (c *CPU) CodeVersion() uint64 { return c.codeVersion }
 
+// OverlayActive reports whether the fetch overlay is armed: fetched
+// bytes may then differ from the bytes stored in memory, so anything
+// content-addressed by memory bytes (the shared translation catalog)
+// must not be trusted to describe what this CPU executes.
+func (c *CPU) OverlayActive() bool { return c.overlay != nil }
+
 // ProfileEnabled reports whether per-address hit counting is armed;
 // engines replicate Step's profiling when it is.
 func (c *CPU) ProfileEnabled() bool { return c.profile != nil }

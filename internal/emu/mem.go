@@ -14,6 +14,7 @@
 package emu
 
 import (
+	"bytes"
 	"fmt"
 
 	"parallax/internal/image"
@@ -135,6 +136,14 @@ type codeInvalHook struct {
 // that cache anything derived from code bytes (decoded instructions,
 // translated blocks) register here and evict precisely instead of
 // hardcoding calls into each mutation site.
+//
+// The range is half-open on both sides of the bus, by convention:
+// every producer passes [first modified byte, one past the last) —
+// stores report [addr, addr+n), Poke the union of its executable
+// writes, Restore [page start, page end) per copied-back page — and
+// every subscriber must treat hi as exclusive (a cached range [a, b)
+// overlaps iff a < hi && lo < b). The boundary-byte regression tests
+// in internal/emu/tb hold both directions of that contract.
 //
 // The returned cancel function unregisters fn; after cancel returns,
 // the hook is never invoked again (including by later Snapshot/Restore
@@ -355,6 +364,31 @@ func (m *Memory) Poke(addr uint32, b []byte) error {
 		}
 	}
 	return nil
+}
+
+// EqualAt reports whether the n bytes at addr equal b, ignoring
+// permissions (the read-side counterpart of Poke). Unmapped bytes in
+// the range make it false. It allocates nothing: the shared
+// translation catalog uses it to verify a candidate translation's code
+// bytes against live memory on every adoption.
+func (m *Memory) EqualAt(addr uint32, b []byte) bool {
+	for len(b) > 0 {
+		s := m.Segment(addr)
+		if s == nil {
+			return false
+		}
+		off := addr - s.Addr
+		n := uint32(len(s.Data)) - off
+		if uint32(len(b)) < n {
+			n = uint32(len(b))
+		}
+		if !bytes.Equal(b[:n], s.Data[off:off+n]) {
+			return false
+		}
+		addr += n
+		b = b[n:]
+	}
+	return true
 }
 
 // Peek reads bytes ignoring permissions.

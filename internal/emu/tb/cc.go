@@ -19,15 +19,15 @@ package tb
 type ccKind uint8
 
 const (
-	ccNone ccKind = iota // no pending state; CPU flags are current
-	ccAdd                // res = dst + src
-	ccSub                // res = dst - src (also CMP, NEG with dst=0)
-	ccLogic              // AND/OR/XOR/TEST: CF=OF=AF=0
-	ccInc                // res = dst + 1, CF preserved in saved
-	ccDec                // res = dst - 1, CF preserved in saved
-	ccShl                // res = dst << src (src in 1..31), AF preserved
-	ccShr                // res = dst >> src (logical), AF preserved
-	ccSar                // res = dst >> src (arithmetic), AF preserved
+	ccNone  ccKind = iota // no pending state; CPU flags are current
+	ccAdd                 // res = dst + src
+	ccSub                 // res = dst - src (also CMP, NEG with dst=0)
+	ccLogic               // AND/OR/XOR/TEST: CF=OF=AF=0
+	ccInc                 // res = dst + 1, CF preserved in saved
+	ccDec                 // res = dst - 1, CF preserved in saved
+	ccShl                 // res = dst << src (src in 1..31), AF preserved
+	ccShr                 // res = dst >> src (logical), AF preserved
+	ccSar                 // res = dst >> src (arithmetic), AF preserved
 )
 
 // ccState is the deferred flag computation: the last producer's

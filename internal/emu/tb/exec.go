@@ -77,6 +77,32 @@ func (e *Engine) load32(addr, pc uint32) (uint32, error) {
 	return v, err
 }
 
+// load8 and load16 are the narrow load paths for the byte/word
+// micro-ops (movzx/movsx from memory): cached segments first — both
+// caches hold PermR segments, so a narrower read is always legal where
+// a dword read was — then the bus.
+func (e *Engine) load8(addr, pc uint32) (uint32, error) {
+	if s := e.rd; s != nil && addr-s.Addr < uint32(len(s.Data)) {
+		return uint32(s.Data[addr-s.Addr]), nil
+	}
+	if s := e.stk; s != nil && addr-s.Addr < uint32(len(s.Data)) {
+		return uint32(s.Data[addr-s.Addr]), nil
+	}
+	v, err := e.cpu.Mem.Load8(addr, pc)
+	return uint32(v), err
+}
+
+func (e *Engine) load16(addr, pc uint32) (uint32, error) {
+	if s := e.rd; s != nil && addr-s.Addr <= uint32(len(s.Data))-2 {
+		return uint32(binary.LittleEndian.Uint16(s.Data[addr-s.Addr:])), nil
+	}
+	if s := e.stk; s != nil && addr-s.Addr <= uint32(len(s.Data))-2 {
+		return uint32(binary.LittleEndian.Uint16(s.Data[addr-s.Addr:])), nil
+	}
+	v, err := e.cpu.Mem.Load16(addr, pc)
+	return uint32(v), err
+}
+
 // store32 is the out-of-line store path: both caches, then the bus.
 func (e *Engine) store32(addr, v, pc uint32) error {
 	if s := e.wr; s != nil && addr-s.Addr <= uint32(len(s.Data))-4 {
@@ -377,6 +403,26 @@ nextBlock:
 				c.EIP = op.pc
 				return nil, icount, cycles, err
 			}
+		case opMovMR8:
+			a := e.ea(op)
+			v := byte(reg8(c, op.r2))
+			s := e.wr
+			if op.memFlags&memStack != 0 {
+				s = e.stk
+			}
+			if s != nil && a-s.Addr < uint32(len(s.Data)) {
+				// Cached segments are writable and never executable, so a
+				// direct byte write only needs the dirty-page bookkeeping.
+				if s.Tracked() {
+					s.MarkDirty(a-s.Addr, 1)
+				}
+				s.Data[a-s.Addr] = v
+				break
+			}
+			if err := c.Mem.Store8(a, v, op.pc); err != nil {
+				c.EIP = op.pc
+				return nil, icount, cycles, err
+			}
 
 		case opAluRR:
 			if r, w := e.alu32(op.alu, c.Reg[op.r1], c.Reg[op.r2]); w {
@@ -464,6 +510,17 @@ nextBlock:
 			if err := e.push32(op.imm, op.pc); err != nil {
 				return nil, icount, cycles, err
 			}
+		case opPushM:
+			// Operand read first, then the push — a faulting load leaves
+			// ESP unmoved, exactly as the interpreter's readOp ordering.
+			v, err := e.load32(e.ea(op), op.pc)
+			if err != nil {
+				c.EIP = op.pc
+				return nil, icount, cycles, err
+			}
+			if err := e.push32(v, op.pc); err != nil {
+				return nil, icount, cycles, err
+			}
 		case opPopR:
 			sp := c.Reg[x86.ESP]
 			if s := e.stk; s != nil && sp-s.Addr <= uint32(len(s.Data))-4 {
@@ -492,10 +549,56 @@ nextBlock:
 				}
 			}
 			c.Reg[op.r1] = v
+		case opExtM:
+			a := e.ea(op)
+			var v uint32
+			var err error
+			if op.w == 8 {
+				v, err = e.load8(a, op.pc)
+			} else {
+				v, err = e.load16(a, op.pc)
+			}
+			if err != nil {
+				c.EIP = op.pc
+				return nil, icount, cycles, err
+			}
+			if op.alu == extSigned {
+				if op.w == 8 && v&0x80 != 0 {
+					v |= 0xFFFFFF00
+				} else if op.w == 16 && v&0x8000 != 0 {
+					v |= 0xFFFF0000
+				}
+			}
+			c.Reg[op.r1] = v
 		case opShiftRI:
 			af := e.lazyAF() // shifts leave AF untouched
 			a := c.Reg[op.r1]
 			count := op.imm
+			var r uint32
+			var kind ccKind
+			switch op.alu {
+			case shiftShr:
+				r = a >> count
+				kind = ccShr
+			case shiftSar:
+				r = uint32(int32(a) >> count)
+				kind = ccSar
+			default:
+				r = a << count
+				kind = ccShl
+			}
+			e.cc = ccState{kind: kind, dst: a, src: count, res: r, saved: af}
+			c.Reg[op.r1] = r
+		case opShiftRC:
+			count := c.Reg[x86.ECX] & 31
+			if count == 0 {
+				// The interpreter returns before writing anything: no
+				// result write, every flag (and the pending cc state, which
+				// still describes the last producer) untouched.
+				break
+			}
+			af := e.lazyAF()
+			a := c.Reg[op.r1]
 			var r uint32
 			var kind ccKind
 			switch op.alu {
@@ -519,6 +622,50 @@ nextBlock:
 				v = 1
 			}
 			setReg8(c, op.r1, v)
+		case opImulRR, opImulRM:
+			var a uint32
+			if op.kind == opImulRR {
+				a = c.Reg[op.r2]
+			} else {
+				var err error
+				if a, err = e.load32(e.ea(op), op.pc); err != nil {
+					c.EIP = op.pc
+					return nil, icount, cycles, err
+				}
+			}
+			m := c.Reg[op.r1]
+			if op.alu == imulImm {
+				m = op.imm
+			}
+			r := int64(int32(a)) * int64(int32(m))
+			// Flags are eager here: CF/OF need the full 64-bit product,
+			// which the cc triple cannot carry. AF is the one flag IMUL
+			// leaves alone, so it is resolved from the pending state
+			// before that state is cleared.
+			c.AF = e.lazyAF()
+			e.cc.kind = ccNone
+			lo := uint32(r)
+			c.Reg[op.r1] = lo
+			c.CF = r != int64(int32(lo))
+			c.OF = c.CF
+			c.ZF = lo == 0
+			c.SF = lo>>31 != 0
+			c.PF = parity8(lo)
+		case opLeave:
+			c.Reg[x86.ESP] = c.Reg[x86.EBP]
+			sp := c.Reg[x86.ESP]
+			if s := e.stk; s != nil && sp-s.Addr <= uint32(len(s.Data))-4 {
+				c.Reg[x86.ESP] = sp + 4
+				c.Reg[x86.EBP] = loadDword(s, sp-s.Addr)
+				break
+			}
+			v, err := e.pop32(op.pc)
+			if err != nil {
+				// ESP already moved to EBP — the interpreter faults with
+				// the frame torn down the same way.
+				return nil, icount, cycles, err
+			}
+			c.Reg[x86.EBP] = v
 		case opNop:
 
 		case opFallback:

@@ -1,0 +1,16 @@
+package tb
+
+import "parallax/internal/x86"
+
+// Test-only exports: the external test package (tb_test) measures
+// fallback rates and inspects translation internals through these.
+
+// CompiledKind reports how the translator lowers inst at pc: "uop" for
+// a specialized micro-op, "fallback" for interpreter replay.
+func CompiledKind(pc uint32, inst *x86.Inst) string {
+	u := compile(pc, inst)
+	if u.kind == opFallback || u.kind == opFallbackTerm {
+		return "fallback"
+	}
+	return "uop"
+}

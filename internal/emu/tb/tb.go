@@ -74,25 +74,53 @@ type Engine struct {
 	// cached — see the fast-path comment in exec.go.
 	rd, wr, stk *emu.Segment
 
+	// cat, when non-nil, is the shared translation catalog: translate
+	// consults it before decoding and publishes its own translations
+	// into it (see catalog.go for the coherence story). Nil keeps the
+	// engine fully private.
+	cat *Catalog
+
 	mTranslations  *obs.Counter
 	mChainHits     *obs.Counter
 	mInvalidations *obs.Counter
+	mFlushes       *obs.Counter
+	mCatHits       *obs.Counter
+	mCatMisses     *obs.Counter
+	mCatInstalls   *obs.Counter
 	mBlockLen      *obs.Histogram
 }
 
 // New attaches a translation engine to cpu, registering it on the
 // memory bus's code-invalidation hook. reg (which may be nil) receives
 // the engine's metrics: emu.tb.translations, emu.tb.chain_hits,
-// emu.tb.invalidations and the emu.tb.block_len histogram. Call Close
-// when done so the hook does not outlive the engine.
+// emu.tb.invalidations, emu.tb.flushes and the emu.tb.block_len
+// histogram. Call Close when done so the hook does not outlive the
+// engine.
 func New(cpu *emu.CPU, reg *obs.Registry) *Engine {
+	return NewWithCatalog(cpu, reg, nil)
+}
+
+// NewWithCatalog is New with a shared translation catalog attached
+// (nil keeps the engine private). Every engine sharing one catalog
+// adopts the others' translations after byte-verifying them against
+// its own memory; catalog adoptions count in this engine's
+// emu.tb.catalog_hits (alongside emu.tb.catalog_misses and
+// emu.tb.catalog_installs), not in emu.tb.translations, so the
+// translation counter still measures decode+compile work actually
+// performed.
+func NewWithCatalog(cpu *emu.CPU, reg *obs.Registry, cat *Catalog) *Engine {
 	e := &Engine{
 		cpu:            cpu,
 		blocks:         make(map[uint32]*block),
 		cpuVer:         cpu.CodeVersion(),
+		cat:            cat,
 		mTranslations:  reg.Counter("emu.tb.translations"),
 		mChainHits:     reg.Counter("emu.tb.chain_hits"),
 		mInvalidations: reg.Counter("emu.tb.invalidations"),
+		mFlushes:       reg.Counter("emu.tb.flushes"),
+		mCatHits:       reg.Counter("emu.tb.catalog_hits"),
+		mCatMisses:     reg.Counter("emu.tb.catalog_misses"),
+		mCatInstalls:   reg.Counter("emu.tb.catalog_installs"),
 		mBlockLen:      reg.Histogram("emu.tb.block_len"),
 	}
 	e.cancel = cpu.Mem.OnCodeInvalidate(e.invalidate)
@@ -106,9 +134,7 @@ func (e *Engine) Close() {
 		e.cancel()
 		e.cancel = nil
 	}
-	// Teardown is not a coherence event: the invalidation counter
-	// tracks translations killed by code mutation, not lifecycle.
-	e.flushAll(false)
+	e.flushAll()
 }
 
 // CPU returns the CPU the engine drives.
@@ -126,19 +152,21 @@ func (e *Engine) invalidate(lo, hi uint32) {
 	}
 }
 
-// flushAll retires every translation (overlay state changed, or the
-// engine is closing). count says whether the flush is a coherence
-// event that belongs in the invalidation counter.
-func (e *Engine) flushAll(count bool) {
+// flushAll retires every translation wholesale — overlay state
+// changed, or the engine is closing. Both paths count into
+// emu.tb.flushes, keeping it disjoint from emu.tb.invalidations (the
+// per-block coherence kills): every block the engine ever held dies
+// exactly once through one of the two counters, so after Close,
+// translations + catalog adoptions == invalidations + flushes and a
+// metrics report reconciles against hook-bus events.
+func (e *Engine) flushAll() {
 	n := uint64(len(e.blocks))
 	for _, b := range e.blocks {
 		b.dead = true
 	}
 	e.blocks = make(map[uint32]*block)
 	e.curB = nil
-	if count {
-		e.mInvalidations.Add(n)
-	}
+	e.mFlushes.Add(n)
 }
 
 // lookup returns a live block starting at pc, translating one if
@@ -148,7 +176,7 @@ func (e *Engine) lookup(pc uint32) (*block, error) {
 	if cv := e.cpu.CodeVersion(); cv != e.cpuVer {
 		// Overlay arm/disarm or InvalidateCode: fetches may now see
 		// different bytes anywhere, so nothing translated survives.
-		e.flushAll(true)
+		e.flushAll()
 		e.cpuVer = cv
 	}
 	if b, ok := e.blocks[pc]; ok {

@@ -41,12 +41,19 @@ const (
 
 	opPushR
 	opPushI
+	opPushM // push dword [ea]
 	opPopR
 	opLea
 	opExt     // movzx/movsx r32, r8/r16 (alu = extSigned for movsx; w = source width)
+	opExtM    // movzx/movsx r32, [m8/m16] (alu/w as opExt)
 	opShiftRI // shl/shr/sar r32, imm (alu selects; imm = masked count 1..31)
+	opShiftRC // shl/shr/sar r32, cl (alu selects; count read at run time)
 	opXchgRR
 	opSetccR // setcc r8 (alu = x86.Cond)
+	opMovMR8 // mov [ea], r8 (byte store; r2 in ModRM 8-bit numbering)
+	opImulRR // imul r32, r2 [, imm] (alu = imulImm when imm multiplies)
+	opImulRM // imul r32, [ea] [, imm]
+	opLeave  // mov esp, ebp; pop ebp
 
 	// Terminal control flow.
 	opJmp      // direct: chains via succ[0]
@@ -66,8 +73,13 @@ const (
 	shiftSar
 )
 
-// extSigned in uop.alu marks opExt as MOVSX.
+// extSigned in uop.alu marks opExt/opExtM as MOVSX.
 const extSigned uint8 = 1
+
+// imulImm in uop.alu marks opImulRR/opImulRM as the three-operand
+// form: the second multiplicand is uop.imm instead of the destination
+// register's prior value.
+const imulImm uint8 = 1
 
 // Memory-operand presence bits in uop.memFlags. memStack marks
 // ESP/EBP-based addressing: the executor's fast path then consults the
@@ -131,8 +143,25 @@ const maxBlockOps = 128
 // translation. A decode fault on the first instruction is the caller's
 // fault to report; a fault further in just ends the block early — the
 // fault surfaces, uncounted, when execution actually reaches it.
+//
+// With a shared catalog attached, translate first tries to adopt
+// another engine's translation of the same bytes (verified against
+// this CPU's memory byte for byte), and publishes its own result on a
+// miss. Both directions are skipped while the fetch overlay is armed:
+// memory bytes then do not describe fetched bytes, so the catalog
+// cannot be consulted or fed without risking an incoherent adoption.
 func (e *Engine) translate(entry uint32) (*block, error) {
 	c := e.cpu
+	shared := e.cat != nil && !c.OverlayActive()
+	if shared {
+		if ops, end := e.cat.adopt(c.Mem, entry); ops != nil {
+			e.mCatHits.Inc()
+			b := &block{entry: entry, end: end, lo: entry, hi: end, ops: ops}
+			e.blocks[entry] = b
+			return b, nil
+		}
+		e.mCatMisses.Inc()
+	}
 	b := &block{entry: entry}
 	pc := entry
 	for len(b.ops) < maxBlockOps {
@@ -154,6 +183,14 @@ func (e *Engine) translate(entry uint32) (*block, error) {
 	e.blocks[entry] = b
 	e.mTranslations.Inc()
 	e.mBlockLen.Record(uint64(len(b.ops)))
+	if shared {
+		// Peek can fail only if the decoded range became unmapped
+		// mid-walk, which cannot happen (segments are never unmapped);
+		// a failure just skips publication.
+		if code, err := c.Mem.Peek(entry, pc-entry); err == nil && e.cat.install(entry, code, b.ops) {
+			e.mCatInstalls.Inc()
+		}
+	}
 	return b, nil
 }
 
@@ -166,6 +203,14 @@ func compile(pc uint32, inst *x86.Inst) uop {
 
 	switch inst.Op {
 	case x86.MOV:
+		if inst.W == 8 && inst.Dst.Kind == x86.KMem && inst.Src.Kind == x86.KReg {
+			// Byte store (string/flag writes in generated code). The
+			// executor routes it through Memory.Store8 outside the cached
+			// segments, so stores into code still fire invalidation.
+			u.kind, u.r2 = opMovMR8, inst.Src.Reg
+			u.setMem(&inst.Dst)
+			return u
+		}
 		if inst.W != 32 {
 			break
 		}
@@ -245,6 +290,10 @@ func compile(pc uint32, inst *x86.Inst) uop {
 		case x86.KImm:
 			u.kind, u.imm = opPushI, uint32(inst.Dst.Imm)
 			return u
+		case x86.KMem:
+			u.kind = opPushM
+			u.setMem(&inst.Dst)
+			return u
 		}
 	case x86.POP:
 		if inst.Dst.Kind == x86.KReg {
@@ -267,9 +316,50 @@ func compile(pc uint32, inst *x86.Inst) uop {
 			}
 			return u
 		}
+		if inst.Dst.Kind == x86.KReg && inst.Src.Kind == x86.KMem {
+			u.kind, u.r1, u.w = opExtM, inst.Dst.Reg, inst.W
+			if inst.Op == x86.MOVSX {
+				u.alu = extSigned
+			}
+			u.setMem(&inst.Src)
+			return u
+		}
+
+	case x86.IMUL:
+		// Two- and three-operand forms only: truncated signed multiply
+		// into a register, CF=OF=overflow, SZP from the low result, AF
+		// untouched. The one-operand EDX:EAX forms stay on the fallback.
+		if inst.W == 32 && inst.Dst.Kind == x86.KReg {
+			if inst.HasImm {
+				u.alu, u.imm = imulImm, uint32(inst.Imm)
+			}
+			switch inst.Src.Kind {
+			case x86.KReg:
+				u.kind, u.r1, u.r2 = opImulRR, inst.Dst.Reg, inst.Src.Reg
+				return u
+			case x86.KMem:
+				u.kind, u.r1 = opImulRM, inst.Dst.Reg
+				u.setMem(&inst.Src)
+				return u
+			}
+			u.alu, u.imm = 0, 0
+		}
 
 	case x86.SHL, x86.SAL, x86.SHR, x86.SAR:
-		if inst.W == 32 && inst.Dst.Kind == x86.KReg && inst.Src.Kind == x86.KImm {
+		if inst.W != 32 || inst.Dst.Kind != x86.KReg {
+			break
+		}
+		var sel uint8
+		switch inst.Op {
+		case x86.SHR:
+			sel = shiftShr
+		case x86.SAR:
+			sel = shiftSar
+		default:
+			sel = shiftShl
+		}
+		switch {
+		case inst.Src.Kind == x86.KImm:
 			count := uint32(inst.Src.Imm) & 31
 			if count == 0 {
 				// Zero count: the interpreter skips the write and leaves
@@ -277,15 +367,12 @@ func compile(pc uint32, inst *x86.Inst) uop {
 				u.kind = opNop
 				return u
 			}
-			u.kind, u.r1, u.imm = opShiftRI, inst.Dst.Reg, count
-			switch inst.Op {
-			case x86.SHR:
-				u.alu = shiftShr
-			case x86.SAR:
-				u.alu = shiftSar
-			default:
-				u.alu = shiftShl
-			}
+			u.kind, u.alu, u.r1, u.imm = opShiftRI, sel, inst.Dst.Reg, count
+			return u
+		case inst.Src.Kind == x86.KReg && inst.Src.Reg == x86.ECX:
+			// Shift by CL: the count is dynamic, so the zero-count
+			// flags-untouched case is handled by the executor.
+			u.kind, u.alu, u.r1 = opShiftRC, sel, inst.Dst.Reg
 			return u
 		}
 
@@ -300,6 +387,10 @@ func compile(pc uint32, inst *x86.Inst) uop {
 			u.kind, u.r1, u.alu = opSetccR, inst.Dst.Reg, uint8(inst.Cond)
 			return u
 		}
+
+	case x86.LEAVE:
+		u.kind = opLeave
+		return u
 
 	case x86.JMP:
 		switch {

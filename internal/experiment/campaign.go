@@ -9,6 +9,7 @@ import (
 	"parallax/internal/campaign"
 	"parallax/internal/core"
 	"parallax/internal/corpus"
+	"parallax/internal/obs"
 )
 
 // CampaignResult is one corpus program's tamper-campaign outcome.
@@ -49,23 +50,32 @@ func Campaign(ctx context.Context, progs []string, cfg campaign.Config) ([]Campa
 	return out, nil
 }
 
-// CampaignEngineRow compares the campaign's two execution engines on
-// one corpus program: clone+reload per mutant versus one emulator per
-// worker restored from a snapshot. Detection matrices must agree —
-// MatrixEqual is the differential check, Speedup the payoff.
+// CampaignEngineRow compares the campaign's execution configurations
+// on one corpus program: the interpreter on the legacy clone+reload
+// path, the interpreter on the snapshot/restore path, and the
+// translation-block engine (the default) on the snapshot path with the
+// campaign-wide shared catalog. Detection matrices must agree across
+// all three — MatrixEqual is the differential check, TBSpeedup and the
+// catalog hit rate the payoff.
 type CampaignEngineRow struct {
 	Program       string
 	Mutants       int
-	ReloadSeconds float64
-	SnapSeconds   float64
-	Speedup       float64 // ReloadSeconds / SnapSeconds
-	MatrixEqual   bool
-	Report        *campaign.Report // snapshot-path report
+	ReloadSeconds float64 // interp, clone+reload per mutant
+	SnapSeconds   float64 // interp, snapshot/restore
+	TBSeconds     float64 // tb + shared catalog, snapshot/restore
+	Speedup       float64 // ReloadSeconds / TBSeconds (full stack win)
+	TBSpeedup     float64 // SnapSeconds / TBSeconds (engine-only win)
+	// CatalogHitRate is catalog hits over catalog consults on the tb
+	// run: the fraction of block lookups that skipped decode+compile by
+	// adopting another mutant's translation.
+	CatalogHitRate float64
+	MatrixEqual    bool
+	Report         *campaign.Report // tb-path report
 }
 
-// CampaignEngines runs the same enumerated campaign through both
-// execution paths and measures wall-clock time per path. An empty
-// program list means wget. Wall-clock numbers vary by host; the
+// CampaignEngines runs the same enumerated campaign through all three
+// execution configurations and measures wall-clock time per path. An
+// empty program list means wget. Wall-clock numbers vary by host; the
 // matrix equality must not.
 func CampaignEngines(ctx context.Context, progs []string, cfg campaign.Config) ([]CampaignEngineRow, error) {
 	if len(progs) == 0 {
@@ -88,32 +98,54 @@ func CampaignEngines(ctx context.Context, progs []string, cfg campaign.Config) (
 
 		reloadCfg := pcfg
 		reloadCfg.Reload = true
+		reloadCfg.Engine = "interp"
 		start := time.Now()
 		repReload, err := campaign.Run(ctx, prot, reloadCfg)
 		if err != nil {
-			return nil, fmt.Errorf("campaign-engine experiment: %s (reload): %w", name, err)
+			return nil, fmt.Errorf("campaign-engine experiment: %s (interp reload): %w", name, err)
 		}
 		reloadSec := time.Since(start).Seconds()
 
 		snapCfg := pcfg
 		snapCfg.Reload = false
+		snapCfg.Engine = "interp"
 		start = time.Now()
 		repSnap, err := campaign.Run(ctx, prot, snapCfg)
 		if err != nil {
-			return nil, fmt.Errorf("campaign-engine experiment: %s (snapshot): %w", name, err)
+			return nil, fmt.Errorf("campaign-engine experiment: %s (interp snapshot): %w", name, err)
 		}
 		snapSec := time.Since(start).Seconds()
 
+		tbCfg := pcfg
+		tbCfg.Reload = false
+		tbCfg.Engine = "tb"
+		reg := obs.NewRegistry()
+		tbCfg.Obs = reg
+		start = time.Now()
+		repTB, err := campaign.Run(ctx, prot, tbCfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign-engine experiment: %s (tb snapshot): %w", name, err)
+		}
+		tbSec := time.Since(start).Seconds()
+		hits := reg.Counter("emu.tb.catalog_hits").Value()
+		misses := reg.Counter("emu.tb.catalog_misses").Value()
+
 		row := CampaignEngineRow{
 			Program:       name,
-			Mutants:       repSnap.Mutants,
+			Mutants:       repTB.Mutants,
 			ReloadSeconds: reloadSec,
 			SnapSeconds:   snapSec,
-			MatrixEqual:   reflect.DeepEqual(repReload, repSnap),
-			Report:        repSnap,
+			TBSeconds:     tbSec,
+			MatrixEqual: reflect.DeepEqual(repReload, repSnap) &&
+				reflect.DeepEqual(repSnap, repTB),
+			Report: repTB,
 		}
-		if snapSec > 0 {
-			row.Speedup = reloadSec / snapSec
+		if tbSec > 0 {
+			row.Speedup = reloadSec / tbSec
+			row.TBSpeedup = snapSec / tbSec
+		}
+		if hits+misses > 0 {
+			row.CatalogHitRate = float64(hits) / float64(hits+misses)
 		}
 		out = append(out, row)
 	}

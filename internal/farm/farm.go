@@ -31,6 +31,7 @@ import (
 
 	"parallax/internal/chaos"
 	"parallax/internal/core"
+	"parallax/internal/emu/tb"
 	"parallax/internal/ir"
 	"parallax/internal/obs"
 )
@@ -105,6 +106,14 @@ type Farm struct {
 	brk        *breaker
 	chaos      *chaos.Injector
 
+	// tbCat is the farm-wide shared translation catalog, injected into
+	// every tb-engine job that did not bring its own: jobs profiling
+	// identical module bytes (cache-miss retries, option sweeps over
+	// one module) decode them once. Determinism is unaffected — the
+	// catalog changes which engine instance pays for a translation,
+	// never what any engine executes.
+	tbCat *tb.Catalog
+
 	// Deterministic-test seams; production values are time.Now,
 	// realSleep and (*Farm).protect.
 	now       func() time.Time
@@ -133,6 +142,7 @@ func New(cfg Config) *Farm {
 		retry:      cfg.Retry.withDefaults(),
 		jobTimeout: cfg.JobTimeout,
 		chaos:      cfg.Chaos,
+		tbCat:      tb.NewCatalog(),
 		now:        time.Now,
 		sleep:      realSleep,
 	}
@@ -448,6 +458,12 @@ func (f *Farm) protect(j *Job) (prot *core.Protected, err error) {
 	}
 	opts := j.opts
 	k := jobKey(j.module, opts)
+	if opts.Engine == "tb" && opts.TBCatalog == nil {
+		// Farm-wide translation sharing; like ScanFunc below, the
+		// injected field is ignored by jobKey (it affects cost, not
+		// output), so cache identity is unchanged.
+		opts.TBCatalog = f.tbCat
+	}
 	if opts.ScanFunc == nil {
 		opts.ScanFunc = f.cache.scanner(&f.ct, &j.res.ScanHits, &j.res.ScanMisses, f.chaos)
 	}
