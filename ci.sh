@@ -28,8 +28,10 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> go test -cover ./..."
-go test -coverprofile=coverage.out ./...
-total=$(go tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+coverprofile=$(mktemp -t parallax-cover.XXXXXX)
+trap 'rm -f "$coverprofile"' EXIT
+go test -coverprofile="$coverprofile" ./...
+total=$(go tool cover -func="$coverprofile" | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
 echo "    total statement coverage: ${total}% (baseline ${COVERAGE_BASELINE}%)"
 if awk -v t="$total" -v b="$COVERAGE_BASELINE" 'BEGIN { exit !(t + 2 < b) }'; then
     echo "FAIL: coverage ${total}% is more than 2 points below baseline ${COVERAGE_BASELINE}%" >&2
@@ -97,6 +99,34 @@ if ! grep -q "IDENTICAL" <<<"$corpus_out"; then
     echo "FAIL: corpus engine table produced divergent detection matrices" >&2
     exit 1
 fi
+
+# Cold-coverage smoke gate: a trimmed idle/heavy × plain/composed
+# sweep. The experiment itself exits non-zero when the workload fails
+# to change the detection matrix (idle and heavy fingerprints equal on
+# either image) or when the heavy/composed cold detection rate fails
+# to rise above the idle/plain blind spot — those are the §VI-C
+# acceptance claims, gated at smoke scale on every CI run. At this
+# scale BENCH_coldcover.json is left untouched (only full-scale
+# `-experiment coldcover` runs record it).
+echo "==> coldcover smoke: workload + composition close the cold blind spot"
+go run ./cmd/parallax-bench -experiment coldcover -families tiny -seeds 2 -mutants 48
+
+# Farm fan-out smoke gate: 64 duplicate-heavy protect jobs across two
+# worker counts. The experiment exits non-zero on any failed job, on a
+# scan-miss count above the unique×workers concurrency ceiling (the
+# content-addressed cache must convert every duplicate into a hit),
+# or on any cross-worker-count output divergence.
+echo "==> farm fan-out smoke: cache hit-rate and determinism at 64 jobs"
+go run ./cmd/parallax-bench -experiment fanout -jobs 64 -unique 8 -workers 2,4
+
+# The -race variant replays the cold-coverage campaign machinery (the
+# four-cell sweep is too slow under the detector; the fan-out smoke
+# exercises the farm's concurrency instead) over the composed
+# differential test, which pins engine-identical classification on a
+# composed image under the heavy workload with 4 workers.
+echo "==> composed-engine smoke (-race)"
+go test -race -run 'TestDifferentialEnginesComposed|TestFarmFanoutSmoke' \
+    ./internal/campaign ./internal/experiment
 
 # Differential-oracle hard gate: the gadget-biased generated batch,
 # the corpus replay (baseline + protected binaries, hand-written six

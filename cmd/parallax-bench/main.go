@@ -1,27 +1,37 @@
 // Command parallax-bench regenerates the paper's evaluation tables and
 // figures from the reproduced system:
 //
-//	parallax-bench -experiment fig6     protectable code bytes (Figure 6)
-//	parallax-bench -experiment fig5a    function chain slowdowns (Figure 5a)
-//	parallax-bench -experiment fig5b    whole-program overheads (Figure 5b)
-//	parallax-bench -experiment uchain   µ-chain ablation (§V-C)
-//	parallax-bench -experiment wurster  split-cache attack matrix (§VI/§IX)
-//	parallax-bench -experiment oh       oblivious-hashing comparison (§VIII-C)
-//	parallax-bench -experiment prob     probabilistic variant counts (§V-B)
-//	parallax-bench -experiment farm     batch-protection throughput + cache hit rate
-//	parallax-bench -experiment campaign tamper-campaign detection matrix
+//	parallax-bench -experiment fig6      protectable code bytes (Figure 6)
+//	parallax-bench -experiment fig5a     function chain slowdowns (Figure 5a)
+//	parallax-bench -experiment fig5b     whole-program overheads (Figure 5b)
+//	parallax-bench -experiment uchain    µ-chain ablation (§V-C)
+//	parallax-bench -experiment wurster   split-cache attack matrix (§VI/§IX)
+//	parallax-bench -experiment oh        oblivious-hashing comparison (§VIII-C)
+//	parallax-bench -experiment prob      probabilistic variant counts (§V-B)
+//	parallax-bench -experiment farm      batch-protection throughput + cache hit rate
+//	parallax-bench -experiment campaign  tamper-campaign detection matrix
 //	parallax-bench -experiment campaign-engine  tb + shared catalog vs interp mutant execution
-//	parallax-bench -experiment obs      protect-pipeline per-stage timing (internal/obs)
-//	parallax-bench -experiment difftest differential-oracle engine throughput + divergence gate
-//	parallax-bench -experiment corpus   generated-corpus sweep: detection/overhead distributions
-//	parallax-bench -experiment all      everything except farm, campaign, obs, difftest and corpus
+//	parallax-bench -experiment obs       protect-pipeline per-stage timing (internal/obs)
+//	parallax-bench -experiment difftest  differential-oracle engine throughput + divergence gate
+//	parallax-bench -experiment corpus    generated-corpus sweep: detection/overhead distributions
+//	parallax-bench -experiment coldcover cold-text detection: workload × §VI-C composition matrix
+//	parallax-bench -experiment fanout    farm fan-out stress: hundreds of jobs across worker counts
+//	parallax-bench -experiment all       the deterministic figure set (fig6 … prob); the
+//	                                     wall-clock and sweep experiments (farm, campaign,
+//	                                     campaign-engine, obs, difftest, corpus, coldcover,
+//	                                     fanout) run only when named explicitly
 //
-// All numbers except the farm experiment come from the deterministic
-// emulator cycle model; those runs are reproducible bit for bit. The
-// farm experiment measures wall-clock throughput of the concurrent
-// batch-protection service (internal/farm), so its numbers vary by
-// host and are excluded from -experiment all and the reference output.
-// See EXPERIMENTS.md for the paper-versus-measured discussion.
+// All numbers except the farm and fanout experiments come from the
+// deterministic emulator cycle model; those runs are reproducible bit
+// for bit. The farm and fanout experiments measure wall-clock
+// throughput of the concurrent batch-protection service
+// (internal/farm), so their numbers vary by host and are excluded from
+// -experiment all and the reference output. See EXPERIMENTS.md for the
+// paper-versus-measured discussion.
+//
+// The experiment registry below is the single source of truth: the
+// -experiment usage string and the "all" set derive from it, and
+// TestExperimentDocDrift holds this doc comment to it.
 package main
 
 import (
@@ -47,51 +57,121 @@ import (
 	"parallax/internal/ir"
 )
 
-func main() {
-	which := flag.String("experiment", "all",
-		"fig6|fig5a|fig5b|uchain|wurster|oh|prob|farm|campaign|campaign-engine|obs|difftest|corpus|all")
-	workers := flag.String("workers", "1,2,4,8",
-		"comma-separated worker counts for -experiment farm")
-	progs := flag.String("progs", "wget",
-		"comma-separated corpus programs for -experiment campaign, campaign-engine and obs")
-	mutants := flag.Int("mutants", 512,
-		"mutant budget for -experiment campaign-engine")
-	n := flag.Int("n", 105, "program budget for -experiment corpus")
-	engine := flag.String("engine", "interp",
-		"campaign execution engine for -experiment corpus (interp|tb)")
-	flag.Parse()
+// benchFlags carries every experiment's tuning flags, parsed once.
+type benchFlags struct {
+	workers  string
+	progs    string
+	mutants  int
+	n        int
+	engine   string
+	seeds    int
+	checkers int
+	families string
+	jobs     int
+	unique   int
+	// mutantsSet records whether -mutants was given explicitly; the
+	// coldcover experiment has its own default (96 per campaign cell)
+	// distinct from campaign-engine's 512.
+	mutantsSet bool
+}
 
-	runs := map[string]func() error{
-		"fig6":     fig6,
-		"fig5a":    fig5a,
-		"fig5b":    fig5b,
-		"uchain":   uchain,
-		"wurster":  wurster,
-		"oh":       ohExperiment,
-		"prob":     probExperiment,
-		"farm":     func() error { return farmExperiment(*workers) },
-		"campaign": func() error { return campaignExperiment(*progs) },
-		"campaign-engine": func() error {
-			return campaignEngineExperiment(*progs, *mutants)
-		},
-		"obs":      func() error { return obsExperiment(*progs) },
-		"difftest": func() error { return difftestExperiment(*progs) },
-		"corpus":   func() error { return corpusExperiment(*n, *engine) },
+// experimentDef is one registry entry. The -experiment usage string
+// and the "all" set derive from the registry, so a new experiment
+// cannot be reachable yet missing from the usage text; the package doc
+// comment is held to the registry by TestExperimentDocDrift.
+type experimentDef struct {
+	name string
+	// inAll includes the experiment in -experiment all (the
+	// deterministic figure set; wall-clock and sweep experiments run
+	// only when named).
+	inAll bool
+	run   func(f benchFlags) error
+}
+
+// registry lists every experiment, in "all"-execution order.
+var registry = []experimentDef{
+	{"fig6", true, func(benchFlags) error { return fig6() }},
+	{"fig5a", true, func(benchFlags) error { return fig5a() }},
+	{"fig5b", true, func(benchFlags) error { return fig5b() }},
+	{"uchain", true, func(benchFlags) error { return uchain() }},
+	{"wurster", true, func(benchFlags) error { return wurster() }},
+	{"oh", true, func(benchFlags) error { return ohExperiment() }},
+	{"prob", true, func(benchFlags) error { return probExperiment() }},
+	{"farm", false, func(f benchFlags) error { return farmExperiment(f.workers) }},
+	{"campaign", false, func(f benchFlags) error { return campaignExperiment(f.progs) }},
+	{"campaign-engine", false, func(f benchFlags) error { return campaignEngineExperiment(f.progs, f.mutants) }},
+	{"obs", false, func(f benchFlags) error { return obsExperiment(f.progs) }},
+	{"difftest", false, func(f benchFlags) error { return difftestExperiment(f.progs) }},
+	{"corpus", false, func(f benchFlags) error { return corpusExperiment(f.n, f.engine) }},
+	{"coldcover", false, func(f benchFlags) error {
+		mutants := 0 // ColdCoverOptions default
+		if f.mutantsSet {
+			mutants = f.mutants
+		}
+		return coldcoverExperiment(f.families, f.seeds, f.checkers, mutants)
+	}},
+	{"fanout", false, func(f benchFlags) error { return fanoutExperiment(f.jobs, f.unique, f.workers) }},
+}
+
+// experimentUsage derives the -experiment flag's value list from the
+// registry.
+func experimentUsage() string {
+	names := make([]string, 0, len(registry)+1)
+	for _, e := range registry {
+		names = append(names, e.name)
 	}
-	order := []string{"fig6", "fig5a", "fig5b", "uchain", "wurster", "oh", "prob"}
+	return strings.Join(append(names, "all"), "|")
+}
+
+func main() {
+	var f benchFlags
+	which := flag.String("experiment", "all", experimentUsage())
+	flag.StringVar(&f.workers, "workers", "1,2,4,8",
+		"comma-separated worker counts for -experiment farm and fanout")
+	flag.StringVar(&f.progs, "progs", "wget",
+		"comma-separated corpus programs for -experiment campaign, campaign-engine and obs")
+	flag.IntVar(&f.mutants, "mutants", 512,
+		"mutant budget for -experiment campaign-engine and coldcover (coldcover default: 96)")
+	flag.IntVar(&f.n, "n", 105, "program budget for -experiment corpus")
+	flag.StringVar(&f.engine, "engine", "interp",
+		"campaign execution engine for -experiment corpus (interp|tb)")
+	flag.IntVar(&f.seeds, "seeds", 5, "seeds per family for -experiment coldcover")
+	flag.IntVar(&f.checkers, "checkers", 4, "composed checksum-network size for -experiment coldcover")
+	flag.StringVar(&f.families, "families", "",
+		"comma-separated generator families for -experiment coldcover (empty = default set)")
+	flag.IntVar(&f.jobs, "jobs", 256, "protect jobs per round for -experiment fanout")
+	flag.IntVar(&f.unique, "unique", 32, "unique modules for -experiment fanout")
+	flag.Parse()
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "mutants" {
+			f.mutantsSet = true
+		}
+	})
 
 	var err error
-	if *which == "all" {
-		for _, name := range order {
-			if err = runs[name](); err != nil {
+	switch {
+	case *which == "all":
+		for _, e := range registry {
+			if !e.inAll {
+				continue
+			}
+			if err = e.run(f); err != nil {
 				break
 			}
 		}
-	} else if run, ok := runs[*which]; ok {
-		err = run()
-	} else {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
+	default:
+		found := false
+		for _, e := range registry {
+			if e.name == *which {
+				err = e.run(f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *which, experimentUsage())
+			os.Exit(2)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parallax-bench:", err)
@@ -738,6 +818,173 @@ func writeBenchCorpus(rep *experiment.CorpusReport, engines []experiment.CorpusE
 		return err
 	}
 	fmt.Println("\nwrote BENCH_corpus.json")
+	return nil
+}
+
+// coldcoverExperiment measures the cold-text detection blind spot and
+// its two mitigations as a 2×2 campaign matrix per generated program:
+// {idle, heavy} workload × {plain, §VI-C composed} protection. Two
+// hard gates run at every scale: the idle and heavy matrices of the
+// same image must differ (the workload actually changes what executes),
+// and cold detection in the heavy/composed cell must beat the
+// idle/plain cell at the median. Full scale (default -seeds and
+// -families) additionally records BENCH_coldcover.json.
+func coldcoverExperiment(families string, seeds, checkers, mutants int) error {
+	header(fmt.Sprintf("coldcover — cold-text detection: workload × composition (seeds=%d, checkers=%d)",
+		seeds, checkers))
+	var fams []string
+	for _, f := range strings.Split(families, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fams = append(fams, f)
+		}
+	}
+	full := len(fams) == 0 && seeds >= 5
+	rep, err := experiment.ColdCoverSweep(context.Background(), experiment.ColdCoverOptions{
+		Families: fams,
+		Seeds:    seeds,
+		Checkers: checkers,
+		Mutants:  mutants,
+		Progress: func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %-24s", done, total, name)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\ncold-text detection rate, p10/p50/p90 over seeds (% of cold-region mutants):")
+	fmt.Printf("%-10s %3s %17s %17s %17s %17s %10s %10s\n",
+		"family", "n", "idle/plain", "heavy/plain", "idle/composed", "heavy/composed", "covered%", "overhead%")
+	// Detection rates live as 0..1 fractions in the report; the table
+	// and the gates talk percentages.
+	dist := func(d experiment.Dist) string {
+		return fmt.Sprintf("%5.1f/%5.1f/%5.1f", 100*d.P10, 100*d.P50, 100*d.P90)
+	}
+	for _, f := range append(rep.Families, rep.Overall) {
+		fmt.Printf("%-10s %3d %17s %17s %17s %17s %10.1f %10.2f\n",
+			f.Family, f.N,
+			dist(f.ColdIdlePlain), dist(f.ColdHeavyPlain),
+			dist(f.ColdIdleComposed), dist(f.ColdHeavyComposed),
+			f.CoveredPct.P50, f.ComposedOverheadPct.P50)
+	}
+	fmt.Printf("\nengine cross-checks: %d heavy/composed matrices re-derived under the other engine, all identical\n",
+		rep.CrossChecks)
+
+	// Gate 1: on the plain image the workload must actually change the
+	// detection matrix — identical idle and heavy matrices mean the
+	// heavy profile never reached cold code. The composed image is
+	// exempt: once the network covers every cold byte, both workloads
+	// legitimately converge on the same (fully detecting) matrix. In
+	// its place the composed image must lift the idle cell without any
+	// cold execution: the checkers hash cold bytes the chains never run.
+	for _, p := range rep.Programs {
+		var idleFP, heavyFP string
+		for _, c := range p.Cells {
+			if c.Composed {
+				continue
+			}
+			if c.Workload == "idle" {
+				idleFP = c.MatrixFP
+			} else {
+				heavyFP = c.MatrixFP
+			}
+		}
+		if idleFP == heavyFP {
+			return fmt.Errorf("coldcover: %s: idle and heavy workloads produced identical plain matrices %s — workload not reaching cold code",
+				p.Name, idleFP)
+		}
+		plainIdle := p.Cell("idle", false).ColdDetectedRate
+		compIdle := p.Cell("idle", true).ColdDetectedRate
+		if compIdle <= plainIdle {
+			return fmt.Errorf("coldcover: %s: composed idle cold rate %.1f%% not above plain idle %.1f%% — network not detecting statically",
+				p.Name, 100*compIdle, 100*plainIdle)
+		}
+	}
+	fmt.Println("workload gate: every plain idle/heavy matrix pair differs, every composed network lifts the idle cold rate")
+
+	// Gate 2: the blind spot must actually close at the median.
+	before, after := rep.Overall.ColdIdlePlain.P50, rep.Overall.ColdHeavyComposed.P50
+	if after <= before {
+		return fmt.Errorf("coldcover: cold detection did not rise: idle/plain p50 %.1f%% vs heavy/composed p50 %.1f%%",
+			100*before, 100*after)
+	}
+	fmt.Printf("coverage gate: cold detection p50 %.1f%% (idle/plain) -> %.1f%% (heavy/composed)\n",
+		100*before, 100*after)
+
+	if full {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_coldcover.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("\nwrote BENCH_coldcover.json")
+	} else {
+		fmt.Println("\nsmoke scale: BENCH_coldcover.json left to full-scale runs (default -seeds/-families)")
+	}
+	fmt.Println("\ndetection columns are deterministic per (family, seed, params-hash, workload);")
+	fmt.Println("overhead% is the composed network's hashing cost under the heavy workload")
+	fmt.Println("(cycle model). The composed checkers remain checksums: the Wurster split-")
+	fmt.Println("cache attack still defeats that half of the composition (see EXPERIMENTS.md).")
+	return nil
+}
+
+// fanoutExperiment is the farm fan-out stress: -jobs protect jobs over
+// -unique distinct generated modules, one fresh farm per -workers
+// count. Hard gates: no failed jobs, byte-identical outputs for
+// identical inputs across all rounds, and a scan-miss ceiling of
+// unique × workers (the cache can double-scan a module only while its
+// first submissions race). Throughput numbers are host wall clock.
+func fanoutExperiment(jobs, unique int, workers string) error {
+	header(fmt.Sprintf("fanout — farm stress: %d protect jobs, %d unique modules", jobs, unique))
+	var counts []int
+	for _, f := range strings.Split(workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -workers value %q", f)
+		}
+		counts = append(counts, n)
+	}
+	rep, err := experiment.FarmFanout(context.Background(), experiment.FanoutOptions{
+		Jobs: jobs, Unique: unique, Workers: counts,
+		Progress: func(round, rounds, w int) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] workers=%d", round, rounds, w)
+			if round == rounds {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %6s %6s %10s %10s %9s %11s %10s\n",
+		"workers", "done", "failed", "scan-hit", "hint-hit", "seconds", "jobs/s", "output")
+	for _, r := range rep.Rounds {
+		hintRate := 0.0
+		if t := r.HintHits + r.HintMisses; t > 0 {
+			hintRate = float64(r.HintHits) / float64(t)
+		}
+		fmt.Printf("%-8d %6d %6d %9.1f%% %9.1f%% %9.3f %11.1f %10s\n",
+			r.Workers, r.Completed, r.Failed, 100*r.ScanHitRate, 100*hintRate,
+			r.Seconds, r.JobsPerSecond, r.OutputFP)
+		if r.Failed != 0 {
+			return fmt.Errorf("fanout: %d jobs failed at workers=%d", r.Failed, r.Workers)
+		}
+		if ceiling := uint64(unique * r.Workers); r.ScanMisses > ceiling {
+			return fmt.Errorf("fanout: workers=%d: %d scan misses exceed the %d ceiling (unique × workers)",
+				r.Workers, r.ScanMisses, ceiling)
+		}
+	}
+	if !rep.Deterministic {
+		return fmt.Errorf("fanout: identical inputs produced differing protected images across rounds")
+	}
+	fmt.Printf("\nall rounds produced byte-identical images per module (fingerprint column);\n")
+	fmt.Printf("min scan-cache hit rate %.1f%%. Throughput varies by host (GOMAXPROCS=%d).\n",
+		100*rep.MinScanHitRate, runtime.GOMAXPROCS(0))
 	return nil
 }
 

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistryShape pins the registry's structural
+// invariants: unique names, no name colliding with the "all"
+// pseudo-experiment, and the usage string listing every entry.
+func TestExperimentRegistryShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.name == "" || e.name == "all" {
+			t.Errorf("registry entry with reserved name %q", e.name)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate registry entry %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Errorf("%s: nil run", e.name)
+		}
+	}
+	usage := experimentUsage()
+	for name := range seen {
+		if !strings.Contains("|"+usage+"|", "|"+name+"|") {
+			t.Errorf("usage string omits %q: %s", name, usage)
+		}
+	}
+	if !strings.HasSuffix(usage, "|all") {
+		t.Errorf("usage string must end with the all pseudo-experiment: %s", usage)
+	}
+}
+
+// TestExperimentDocDrift holds the package doc comment to the
+// registry: every experiment must have a "-experiment <name>" doc
+// line, every doc line must name a registered experiment, and the
+// "all" line must exist. This is the gate that keeps new experiments
+// from being reachable but undocumented (the historical failure mode:
+// campaign-engine was excluded from "all" but missing from the
+// exclusion note).
+func TestExperimentDocDrift(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doc comment ends at the package clause.
+	pkg := strings.Index(string(src), "\npackage main")
+	if pkg < 0 {
+		t.Fatal("no package clause found")
+	}
+	doc := string(src[:pkg])
+
+	lineRE := regexp.MustCompile(`parallax-bench -experiment ([a-z0-9-]+)`)
+	documented := map[string]bool{}
+	for _, m := range lineRE.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = true
+	}
+	registered := map[string]bool{"all": true}
+	for _, e := range registry {
+		registered[e.name] = true
+		if !documented[e.name] {
+			t.Errorf("doc comment has no \"parallax-bench -experiment %s\" line", e.name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("doc comment documents unregistered experiment %q", name)
+		}
+	}
+	if !documented["all"] {
+		t.Error("doc comment has no \"parallax-bench -experiment all\" line")
+	}
+
+	// The "all" doc line must name every excluded experiment so readers
+	// know what -experiment all does NOT run.
+	allIdx := strings.Index(doc, "-experiment all")
+	if allIdx < 0 {
+		t.Fatal("no -experiment all doc line")
+	}
+	allDoc := doc[allIdx:]
+	if end := strings.Index(allDoc, "\n//\n"); end > 0 {
+		allDoc = allDoc[:end]
+	}
+	for _, e := range registry {
+		if e.inAll {
+			continue
+		}
+		if !strings.Contains(allDoc, e.name) {
+			t.Errorf("doc line for -experiment all omits excluded experiment %q:\n%s", e.name, allDoc)
+		}
+	}
+}

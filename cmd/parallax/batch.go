@@ -21,7 +21,7 @@ import (
 // status/timing table plus the farm's cache and throughput counters.
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
-	progs := fs.String("progs", "all", "comma-separated corpus programs (or 'all')")
+	progs := fs.String("progs", "all", "comma-separated corpus programs, gen:<family>:<seed> entries, or 'all'")
 	modes := fs.String("modes", "static,xor,rc4,prob", "comma-separated chain modes")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	rounds := fs.Int("rounds", 1, "times to protect the whole matrix (round 2+ hits the warm cache)")
@@ -37,7 +37,7 @@ func cmdBatch(args []string) error {
 		programs = corpus.All()
 	} else {
 		for _, name := range strings.Split(*progs, ",") {
-			p, err := corpus.ByName(strings.TrimSpace(name))
+			p, err := resolveProgram(strings.TrimSpace(name))
 			if err != nil {
 				return fmt.Errorf("%w: %w", errUsage, err)
 			}
@@ -95,6 +95,7 @@ func cmdBatch(args []string) error {
 				j, err := f.Submit(ctx, name, p.Build(), core.Options{
 					VerifyFuncs: []string{p.VerifyFunc},
 					ChainMode:   m,
+					Workload:    p.Stdin,
 					Obs:         reg,
 					Engine:      *engine,
 				})

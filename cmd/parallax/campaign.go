@@ -11,7 +11,6 @@ import (
 	"parallax/internal/campaign"
 	"parallax/internal/chaos"
 	"parallax/internal/core"
-	"parallax/internal/corpus"
 	"parallax/internal/farm"
 	"parallax/internal/obs"
 )
@@ -20,7 +19,8 @@ import (
 // over the protected image, printing the detection-coverage matrix.
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	prog := fs.String("prog", "", "corpus program name")
+	prog := fs.String("prog", "", "corpus program name, or gen:<family>:<seed>")
+	workload := fs.String("workload", "idle", "stdin profile driven during the campaign (generated programs add 'heavy', which exercises cold code)")
 	verify := fs.String("verify", "", "verification function (default: program's candidate)")
 	mode := fs.String("mode", "static", "chain mode: static|xor|rc4|prob")
 	stride := fs.Int("stride", 3, "byte step between mutation sites")
@@ -38,7 +38,11 @@ func cmdCampaign(args []string) error {
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the deterministic fault-injection plan")
 	fs.Parse(args)
 
-	p, err := corpus.ByName(*prog)
+	p, err := resolveProgram(*prog)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	stdin, err := resolveWorkload(p, *workload)
 	if err != nil {
 		return fmt.Errorf("%w: %w", errUsage, err)
 	}
@@ -77,6 +81,9 @@ func cmdCampaign(args []string) error {
 	}
 
 	m := p.Build()
+	// Protection always profiles under the idle workload: campaigns with
+	// different -workload values must sweep the byte-identical image, or
+	// their matrices would not be comparable.
 	opts := core.Options{ChainMode: chainMode, Workload: p.Stdin, Obs: reg}
 	if *verify != "" {
 		if m.Func(*verify) == nil {
@@ -105,7 +112,7 @@ func cmdCampaign(args []string) error {
 		Stride:     *stride,
 		MaxMutants: *maxMutants,
 		Kinds:      kinds,
-		Stdin:      p.Stdin,
+		Stdin:      stdin,
 		Obs:        reg,
 		Reload:     !*reuseVM,
 		Engine:     *engine,

@@ -116,7 +116,11 @@ commands:
             report the per-region detection-coverage matrix
 
 run 'parallax <command> -h' for flags; corpus programs:
-  wget nginx bzip2 gzip gcc lame`)
+  wget nginx bzip2 gzip gcc lame
+batch, campaign, and trace also take gen:<family>:<seed> programs
+(families: tiny small branchy stringy muldiv callheavy); generated
+programs carry a 'heavy' -workload profile that drives their cold
+code`)
 }
 
 func cmdBuild(args []string) error {

@@ -150,6 +150,32 @@ func TestCLIEndToEnd(t *testing.T) {
 	wantExit(2, "campaign", "-prog", "nginx", "-verify", "nope")
 	wantExit(2, "campaign", "-prog", "nginx", "-mode", "bogus")
 	wantExit(1, "campaign", "-prog", "nginx", "-max", "100")
+
+	// Generated programs and workload profiles: the heavy profile must
+	// change the matrix (cold code runs), the idle profile must not, and
+	// both sweep the same protected image (Report.String is fully
+	// deterministic, so matrix text is comparable across runs).
+	campaignArgs := func(workload string) []string {
+		return []string{"campaign", "-prog", "gen:tiny:1", "-workload", workload,
+			"-stride", "11", "-max-mutants", "96", "-kinds", "byteset"}
+	}
+	idleOut := run(true, campaignArgs("idle")...)
+	heavyOut := run(true, campaignArgs("heavy")...)
+	if !strings.Contains(idleOut, "gen-tiny-s1") {
+		t.Errorf("generated-program campaign output:\n%s", idleOut)
+	}
+	if idleOut == heavyOut {
+		t.Errorf("heavy workload did not change the detection matrix:\n%s", idleOut)
+	}
+	if again := run(true, campaignArgs("idle")...); again != idleOut {
+		t.Errorf("idle campaign not deterministic:\n%s\nvs\n%s", idleOut, again)
+	}
+	wantExit(2, "campaign", "-prog", "gen:tiny:1", "-workload", "bogus")
+	wantExit(2, "campaign", "-prog", "nginx", "-workload", "heavy") // hand corpus has no heavy profile
+	wantExit(2, "campaign", "-prog", "gen:bogus:1")
+	wantExit(2, "campaign", "-prog", "gen:tiny:x")
+	wantExit(2, "campaign", "-prog", "gen:tiny")
+	wantExit(2, "trace", "-workload", "heavy", prot) // -workload needs -prog
 }
 
 func filesEqual(a, b string) (bool, error) {

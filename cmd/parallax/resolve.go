@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parallax/internal/corpus"
+	"parallax/internal/corpus/gen"
+)
+
+// resolveProgram maps a -prog value to a corpus program. Plain names
+// hit the hand-written corpus; "gen:<family>:<seed>" builds a seeded
+// generator program (the only programs with a "heavy" workload, so
+// workload-driven campaigns are reachable from the command line).
+func resolveProgram(name string) (corpus.Program, error) {
+	if !strings.HasPrefix(name, "gen:") {
+		return corpus.ByName(name)
+	}
+	parts := strings.Split(name, ":")
+	if len(parts) != 3 {
+		return corpus.Program{}, fmt.Errorf("bad generated program %q (want gen:<family>:<seed>)", name)
+	}
+	fam, err := gen.FamilyByName(parts[1])
+	if err != nil {
+		return corpus.Program{}, err
+	}
+	seed, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return corpus.Program{}, fmt.Errorf("bad seed in %q: %v", name, err)
+	}
+	return gen.FamilyProgram(fam, seed)
+}
+
+// resolveWorkload maps a -workload value to the program's stdin bytes
+// for that profile, with a usage-grade error naming the profiles that
+// do exist.
+func resolveWorkload(p corpus.Program, name string) ([]byte, error) {
+	stdin, ok := p.Workload(name)
+	if !ok {
+		known := []string{"idle"}
+		for w := range p.Workloads {
+			known = append(known, w)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("program %s has no workload %q (have: %s)",
+			p.Name, name, strings.Join(known, " "))
+	}
+	return stdin, nil
+}

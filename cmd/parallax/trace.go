@@ -9,7 +9,6 @@ import (
 
 	"parallax/internal/attack"
 	"parallax/internal/core"
-	"parallax/internal/corpus"
 	"parallax/internal/image"
 	"parallax/internal/obs"
 )
@@ -24,7 +23,8 @@ import (
 // golden-trace view.
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	prog := fs.String("prog", "", "protect this corpus program and trace it (alternative to an image path)")
+	prog := fs.String("prog", "", "protect this corpus program (or gen:<family>:<seed>) and trace it (alternative to an image path)")
+	workload := fs.String("workload", "idle", "with -prog: stdin profile to drive (-stdin overrides)")
 	verify := fs.String("verify", "", "verification function with -prog (default: program's candidate)")
 	mode := fs.String("mode", "static", "chain mode with -prog: static|xor|rc4|prob")
 	gadgets := fs.Bool("gadgets", false, "with -prog: keep only returns targeting chain gadgets")
@@ -52,7 +52,11 @@ func cmdTrace(args []string) error {
 		if fs.NArg() != 0 {
 			return usagef("-prog and an image path are mutually exclusive")
 		}
-		p, err := corpus.ByName(*prog)
+		p, err := resolveProgram(*prog)
+		if err != nil {
+			return fmt.Errorf("%w: %w", errUsage, err)
+		}
+		stdin, err = resolveWorkload(p, *workload)
 		if err != nil {
 			return fmt.Errorf("%w: %w", errUsage, err)
 		}
@@ -75,8 +79,10 @@ func cmdTrace(args []string) error {
 			return fmt.Errorf("protecting %s: %w", p.Name, err)
 		}
 		img = prot.Image
-		stdin = p.Stdin
 	case fs.NArg() == 1:
+		if *workload != "idle" {
+			return usagef("-workload needs -prog (workload profiles belong to corpus programs)")
+		}
 		var err error
 		img, err = image.Load(fs.Arg(0))
 		if err != nil {

@@ -195,9 +195,15 @@ type RunConfig struct {
 	// here so translations stay warm across snapshot/restore mutants.
 	Exec Runner
 	// Chaos, when non-nil, arms fault injection on a freshly loaded
-	// emulator (segment-map failures, forced budget trips). A reused
-	// CPU keeps whatever injector its loader armed.
+	// emulator (segment-map failures, forced budget trips) and wraps
+	// the run's stdin with a PointStdinRead short-read fault. A reused
+	// CPU keeps whatever injector its loader armed; the stdin wrap
+	// applies to every run.
 	Chaos *chaos.Injector
+	// ChaosKey keys this run's injection decisions for per-run points
+	// (today: the stdin reader). The campaign passes the mutant index
+	// so the faulted cell set is scheduling-independent.
+	ChaosKey uint64
 }
 
 // Runner is an execution backend driving an already-configured CPU —
@@ -237,6 +243,7 @@ func RunWith(ctx context.Context, img *image.Image, cfg RunConfig) RunResult {
 	cpu.Trace = cfg.Trace
 	cpu.TraceEvery = cfg.TraceEvery
 	os := emu.NewOS(cfg.Stdin)
+	os.Stdin = cfg.Chaos.ReaderN(chaos.PointStdinRead, cfg.ChaosKey, os.Stdin, int64(len(cfg.Stdin)))
 	os.DebuggerAttached = cfg.DebuggerAttached
 	cpu.OS = os
 	run := cpu.RunContext

@@ -171,10 +171,5 @@ func buildChecker(i int) *ir.Func {
 
 // buildStart wraps the original entry with the checker calls.
 func buildStart(entry string, n int) *ir.Func {
-	fb := ir.NewFunc("..cs.start", 0)
-	for i := 0; i < n; i++ {
-		fb.Call(checkerName(i))
-	}
-	fb.Ret(fb.Call(entry))
-	return fb.Fn()
+	return buildStartNamed("..cs.start", entry, n, checkerName)
 }

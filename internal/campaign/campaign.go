@@ -133,6 +133,41 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Workload names one stdin profile for a campaign. The same protected
+// image exercises different code under different workloads — the
+// generated corpus reads a cold-call budget from stdin — so detection
+// coverage is a per-workload quantity, not a per-image one.
+type Workload struct {
+	Name  string
+	Stdin []byte
+}
+
+// RunWorkloads executes one full campaign per workload against the
+// same protected image and returns the reports keyed by workload name.
+// The workloads share cfg (including, for the tb engine, one shared
+// translation catalog — stdin never changes code bytes, so every
+// workload's workers adopt each other's translations). A configured
+// checkpoint path gets a per-workload suffix so resumable campaigns
+// don't collide; the journal additionally binds the workload's stdin
+// through the config hash.
+func RunWorkloads(ctx context.Context, prot *core.Protected, cfg Config, wls []Workload) (map[string]*Report, error) {
+	cfg = cfg.withDefaults() // one shared catalog across all workloads
+	out := make(map[string]*Report, len(wls))
+	for _, wl := range wls {
+		wcfg := cfg
+		wcfg.Stdin = wl.Stdin
+		if wcfg.Checkpoint != "" {
+			wcfg.Checkpoint = wcfg.Checkpoint + "." + wl.Name
+		}
+		rep, err := Run(ctx, prot, wcfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: workload %q: %w", wl.Name, err)
+		}
+		out[wl.Name] = rep
+	}
+	return out, nil
+}
+
 // Run executes a tamper campaign against a protected image and returns
 // its detection-coverage matrix. The context cancels the whole
 // campaign; each mutant additionally runs under cfg.Timeout and
@@ -380,7 +415,8 @@ func runOne(ctx context.Context, base *image.Image, stream []byte,
 	runCfg := attack.RunConfig{
 		Stdin: cfg.Stdin, MaxInst: cfg.MaxInst,
 		MemBudget: cfg.MemBudget, StackSize: cfg.StackSize,
-		Obs: cfg.Obs, Engine: cfg.Engine, Catalog: cfg.cat, Chaos: cfg.Chaos,
+		Obs: cfg.Obs, Engine: cfg.Engine, Catalog: cfg.cat,
+		Chaos: cfg.Chaos, ChaosKey: uint64(idx),
 	}
 
 	var img *image.Image

@@ -19,12 +19,14 @@ import (
 
 var update = flag.Bool("update", false, "rewrite campaign matrix goldens")
 
-// goldenKey names a golden by (family, seed, params-hash): re-seeding
-// or re-parameterizing a family invalidates exactly the goldens whose
-// inputs changed, and stale goldens for retired parameter tuples are
-// visible as orphaned files rather than silently matched.
-func goldenKey(fam gen.Family, seed uint64) string {
-	return fmt.Sprintf("%s_s%d_%s", fam.Name, seed, fam.Params.Hash()[:12])
+// goldenKey names a golden by (family, seed, params-hash, workload):
+// re-seeding or re-parameterizing a family invalidates exactly the
+// goldens whose inputs changed, stale goldens for retired parameter
+// tuples are visible as orphaned files rather than silently matched,
+// and the same program swept under different workload profiles records
+// distinct matrices (the workload decides whether cold code executes).
+func goldenKey(fam gen.Family, seed uint64, workload string) string {
+	return fmt.Sprintf("%s_s%d_%s_%s", fam.Name, seed, fam.Params.Hash()[:12], workload)
 }
 
 // goldenConfig is the pinned campaign configuration the goldens were
@@ -39,11 +41,14 @@ func goldenConfig() campaign.Config {
 	}
 }
 
-// goldenTargets is the recorded (family, seed) set: two seeds of the
-// smallest family plus one mix variant.
+// goldenTargets is the recorded (family, seed, workload) set: two
+// seeds of the smallest family plus one mix variant, with the first
+// target recorded under both workload profiles so the idle/heavy
+// matrix split is itself pinned.
 func goldenTargets(t *testing.T) []struct {
-	fam  gen.Family
-	seed uint64
+	fam      gen.Family
+	seed     uint64
+	workload string
 } {
 	t.Helper()
 	pick := func(name string) gen.Family {
@@ -54,12 +59,14 @@ func goldenTargets(t *testing.T) []struct {
 		return fam
 	}
 	return []struct {
-		fam  gen.Family
-		seed uint64
+		fam      gen.Family
+		seed     uint64
+		workload string
 	}{
-		{pick("tiny"), 1},
-		{pick("tiny"), 2},
-		{pick("branchy"), 1},
+		{pick("tiny"), 1, "idle"},
+		{pick("tiny"), 1, "heavy"},
+		{pick("tiny"), 2, "idle"},
+		{pick("branchy"), 1, "heavy"},
 	}
 }
 
@@ -72,10 +79,14 @@ func goldenTargets(t *testing.T) []struct {
 func TestCampaignGoldens(t *testing.T) {
 	for _, tgt := range goldenTargets(t) {
 		tgt := tgt
-		t.Run(goldenKey(tgt.fam, tgt.seed), func(t *testing.T) {
+		t.Run(goldenKey(tgt.fam, tgt.seed, tgt.workload), func(t *testing.T) {
 			prog, err := gen.FamilyProgram(tgt.fam, tgt.seed)
 			if err != nil {
 				t.Fatal(err)
+			}
+			stdin, ok := prog.Workload(tgt.workload)
+			if !ok {
+				t.Fatalf("no workload %q in %s", tgt.workload, prog.Name)
 			}
 			prot, err := core.Protect(prog.Build(), core.Options{
 				VerifyFuncs: []string{prog.VerifyFunc},
@@ -83,13 +94,15 @@ func TestCampaignGoldens(t *testing.T) {
 			if err != nil {
 				t.Fatalf("protect: %v", err)
 			}
-			rep, err := campaign.Run(context.Background(), prot, goldenConfig())
+			cfg := goldenConfig()
+			cfg.Stdin = stdin
+			rep, err := campaign.Run(context.Background(), prot, cfg)
 			if err != nil {
 				t.Fatalf("campaign: %v", err)
 			}
 			got := rep.String()
 
-			path := filepath.Join("testdata", "golden", goldenKey(tgt.fam, tgt.seed)+".golden")
+			path := filepath.Join("testdata", "golden", goldenKey(tgt.fam, tgt.seed, tgt.workload)+".golden")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -120,21 +133,24 @@ func TestGoldenKeyInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := goldenKey(fam, 1)
-	if goldenKey(fam, 1) != base {
+	base := goldenKey(fam, 1, "idle")
+	if goldenKey(fam, 1, "idle") != base {
 		t.Fatal("key not stable")
 	}
-	if goldenKey(fam, 2) == base {
+	if goldenKey(fam, 2, "idle") == base {
 		t.Error("seed change did not move the key")
+	}
+	if goldenKey(fam, 1, "heavy") == base {
+		t.Error("workload change did not move the key")
 	}
 	mutated := fam
 	mutated.Params.HotPct++
-	if goldenKey(mutated, 1) == base {
+	if goldenKey(mutated, 1, "idle") == base {
 		t.Error("params change did not move the key")
 	}
 	// The mutated key must not resolve to a recorded golden: a params
 	// change invalidates (finds absent) rather than mismatches.
-	path := filepath.Join("testdata", "golden", goldenKey(mutated, 1)+".golden")
+	path := filepath.Join("testdata", "golden", goldenKey(mutated, 1, "idle")+".golden")
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("golden unexpectedly exists for mutated params: %s", path)
 	}

@@ -169,23 +169,7 @@ func (m Mutant) corruptSerial(stream []byte) []byte {
 // a verification chain: bytes inside chain-used gadgets, plus the
 // parallax chain/frame/table data blocks ("..parallax." symbols).
 func guardedBytes(prot *core.Protected) map[uint32]bool {
-	g := make(map[uint32]bool)
-	for _, ch := range prot.Chains {
-		for _, gd := range ch.Gadgets() {
-			lo, hi := gd.Range()
-			for a := lo; a < hi; a++ {
-				g[a] = true
-			}
-		}
-	}
-	for _, s := range prot.Image.Symbols {
-		if strings.HasPrefix(s.Name, "..parallax.") {
-			for a := s.Addr; a < s.Addr+s.Size; a++ {
-				g[a] = true
-			}
-		}
-	}
-	return g
+	return prot.GuardedByteMap()
 }
 
 // regionOf names the symbol (preferred) or section containing addr.

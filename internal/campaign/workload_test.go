@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parallax/internal/core"
+	"parallax/internal/corpus/gen"
+	"parallax/internal/obs"
+)
+
+// workloadTarget protects one small generated program and returns it
+// with its heavy-profile stdin.
+func workloadTarget(t *testing.T) (*core.Protected, []byte) {
+	t.Helper()
+	fam, err := gen.FamilyByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := gen.FamilyProgram(fam, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := core.Protect(prog.Build(), core.Options{VerifyFuncs: []string{prog.VerifyFunc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, ok := prog.Workload("heavy")
+	if !ok {
+		t.Fatal("generated program has no heavy workload")
+	}
+	return prot, heavy
+}
+
+// TestRunWorkloads pins the multi-workload contract: one image swept
+// under idle and heavy stdin profiles yields per-workload reports that
+// differ (the heavy profile executes cold code), each byte-identical
+// to a standalone Run with the same stdin, and a configured checkpoint
+// path fans out into per-workload journals rather than colliding.
+func TestRunWorkloads(t *testing.T) {
+	prot, heavy := workloadTarget(t)
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:    2,
+		Stride:     7,
+		MaxMutants: 64,
+		MaxInst:    4_000_000,
+		Timeout:    30 * time.Second,
+		Checkpoint: filepath.Join(dir, "journal"),
+	}
+	reps, err := RunWorkloads(context.Background(), prot, cfg, []Workload{
+		{Name: "idle", Stdin: nil},
+		{Name: "heavy", Stdin: heavy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reps))
+	}
+	idle, heavyRep := reps["idle"], reps["heavy"]
+	if idle == nil || heavyRep == nil {
+		t.Fatalf("missing per-workload report: %v", reps)
+	}
+	if idle.String() == heavyRep.String() {
+		t.Errorf("idle and heavy matrices identical — heavy workload never reached cold code:\n%s", idle)
+	}
+	for _, name := range []string{"journal.idle", "journal.heavy"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("per-workload checkpoint %s: %v", name, err)
+		}
+	}
+
+	// Each workload's report must be what a standalone campaign with
+	// the same stdin produces — RunWorkloads adds sharing, not
+	// semantics. (Fresh config: no checkpoint, or the journal above
+	// would satisfy the run from cache.)
+	scfg := cfg
+	scfg.Checkpoint = ""
+	solo, err := Run(context.Background(), prot, func() Config { c := scfg; c.Stdin = heavy; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.String() != heavyRep.String() {
+		t.Errorf("heavy workload report differs from standalone Run:\n--- workloads ---\n%s--- solo ---\n%s",
+			heavyRep, solo)
+	}
+}
+
+// TestRunWorkloadsSharedCatalog pins the tb-engine economics: the
+// second workload's campaign must adopt translations the first one
+// minted (stdin never changes code bytes), so a shared-catalog double
+// sweep translates fewer blocks than two isolated sweeps.
+func TestRunWorkloadsSharedCatalog(t *testing.T) {
+	prot, heavy := workloadTarget(t)
+	sweep := func(shared bool) uint64 {
+		reg := obs.NewRegistry()
+		cfg := Config{
+			Workers:    2,
+			Stride:     7,
+			MaxMutants: 48,
+			MaxInst:    4_000_000,
+			Timeout:    30 * time.Second,
+			Engine:     "tb",
+			Obs:        reg,
+		}
+		wls := []Workload{{Name: "idle"}, {Name: "heavy", Stdin: heavy}}
+		if shared {
+			if _, err := RunWorkloads(context.Background(), prot, cfg, wls); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, wl := range wls {
+				wcfg := cfg
+				wcfg.Stdin = wl.Stdin
+				if _, err := Run(context.Background(), prot, wcfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return reg.Counter("emu.tb.translations").Value()
+	}
+	isolated := sweep(false)
+	shared := sweep(true)
+	if shared >= isolated {
+		t.Errorf("shared catalog translated %d blocks across workloads, isolated campaigns %d; want strictly fewer",
+			shared, isolated)
+	}
+}

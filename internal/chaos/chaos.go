@@ -50,6 +50,10 @@ const (
 	// PointImageRead truncates a serialized-image read mid-stream
 	// (short read from a failing disk or socket).
 	PointImageRead Point = "image.read"
+	// PointStdinRead truncates a workload's stdin stream mid-read and
+	// surfaces a read error: the emulated program sees a short read,
+	// then the run aborts as infrastructure (never a detection).
+	PointStdinRead Point = "emu.stdin_read"
 	// PointFarmWorkerPanic panics inside a farm worker's pipeline
 	// stage; the farm's panic isolation must confine it to the job.
 	PointFarmWorkerPanic Point = "farm.worker_panic"
@@ -71,7 +75,7 @@ const (
 func Points() []Point {
 	return []Point{
 		PointEmuMemAlloc, PointEmuBudget, PointEmuRestoreDirty,
-		PointImageRead,
+		PointStdinRead, PointImageRead,
 		PointFarmWorkerPanic, PointFarmCacheRead, PointFarmQueueStall,
 		PointCampaignMutant, PointCampaignDeadline,
 	}
@@ -279,6 +283,22 @@ func (in *Injector) Reader(p Point, key uint64, r io.Reader) io.Reader {
 	}
 	cut := mix64(in.seed^pointHash(p)^mix64(key)^0x5bf03635) % 4096
 	return &shortReader{r: r, left: int64(cut), err: &Error{Point: p}}
+}
+
+// ReaderN is Reader for a stream of known length: the key-derived
+// failure point is placed strictly inside the stream (immediately, for
+// an empty one), so a consumer that drains its workload always
+// observes the fault — a fired decision can never be a silent no-op
+// because the cut landed past the data.
+func (in *Injector) ReaderN(p Point, key uint64, r io.Reader, n int64) io.Reader {
+	if !in.Should(p, key) {
+		return r
+	}
+	var cut int64
+	if n > 0 {
+		cut = int64(mix64(in.seed^pointHash(p)^mix64(key)^0x5bf03635) % uint64(n))
+	}
+	return &shortReader{r: r, left: cut, err: &Error{Point: p}}
 }
 
 // shortReader delivers left bytes then fails with err.

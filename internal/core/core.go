@@ -7,7 +7,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"parallax/internal/baseline/checksum"
 	"parallax/internal/chain"
 	"parallax/internal/codegen"
 	"parallax/internal/dyngen"
@@ -66,6 +68,18 @@ type Options struct {
 	// before every pivot (§VI-C). Static chains only: dynamic chains
 	// change between runs by design.
 	ChecksumChains bool
+	// ComposeChecksum, when positive, composes the §VI-C static
+	// checksum network over the protection's cold regions: this many
+	// table-driven checkers (internal/baseline/checksum.Network) are
+	// injected before the layout fixpoint and, after the chains are
+	// installed, assigned the maximal text runs no chain gadget guards.
+	// Hot-path behavior is unchanged beyond the startup hashing pass;
+	// tampering cold text — invisible to the ROP chains because cold
+	// bodies never pull their bytes through a verification run — now
+	// exits with checksum.TamperStatus at startup. The Wurster
+	// split-cache attack still defeats the checksum half, exactly as
+	// the paper concedes for any read-your-own-text defense.
+	ComposeChecksum int
 	// ProbVariants is the §V-B index-array count N for ModeProb;
 	// values below 2 mean 4.
 	ProbVariants int
@@ -149,6 +163,9 @@ type Protected struct {
 	// Hints are the converged fixpoint sizes of this run; feed them to
 	// Options.Hints of an identical run to converge in one pass.
 	Hints Hints
+	// Checksum reports the composed §VI-C checker network's coverage
+	// (Options.ComposeChecksum); nil when composition was off.
+	Checksum *checksum.NetworkStats
 }
 
 // Protect builds and protects a module.
@@ -197,11 +214,11 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 		return nil, fmt.Errorf("core: chain checksumming requires static chains")
 	}
 
-	// Dynamic modes and chain checksumming inject stubs into a working
-	// copy of the module; the caller's module and the baseline stay
-	// clean.
+	// Dynamic modes, chain checksumming and checksum composition
+	// inject stubs into a working copy of the module; the caller's
+	// module and the baseline stay clean.
 	work := m
-	if opts.ChainMode != dyngen.ModeStatic || opts.ChecksumChains {
+	if opts.ChainMode != dyngen.ModeStatic || opts.ChecksumChains || opts.ComposeChecksum > 0 {
 		work = m.Clone()
 	}
 	cfgs := make(map[string]dyngen.Config, len(verify))
@@ -220,6 +237,16 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 			}
 		}
 		cfgs[fn] = cfg
+	}
+	if opts.ComposeChecksum > 0 {
+		// Inject the §VI-C checker network before any layout work: the
+		// checkers' code and Slots-sized tables are fixed-size, so the
+		// fixpoint below converges as usual; the tables stay empty (a
+		// behavioral no-op) until the converged image's cold regions
+		// are known and installed.
+		if err := checksum.InjectNetwork(work, checksum.Network{Checkers: opts.ComposeChecksum}); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	// Frame sizes are layout-independent.
@@ -362,7 +389,46 @@ func Protect(m *ir.Module, opts Options) (*Protected, error) {
 			}
 		}
 	}
+	if opts.ComposeChecksum > 0 {
+		// With the chains installed and the layout final, assign the
+		// cold text — every maximal run no chain gadget guards — to the
+		// injected checker network. The tables and expected hashes land
+		// in .data, leaving the hashed text untouched.
+		var composeErr error
+		opts.Obs.Stage("compose", func() {
+			regions := checksum.ColdRegions(img, p.GuardedByteMap(), 0)
+			p.Checksum, composeErr = checksum.InstallNetwork(img,
+				checksum.Network{Checkers: opts.ComposeChecksum}, regions)
+		})
+		if composeErr != nil {
+			return nil, fmt.Errorf("core: composing checksum network: %w", composeErr)
+		}
+	}
 	return p, nil
+}
+
+// GuardedByteMap returns the address set whose modification derails a
+// verification chain: the chains' gadget spans plus the serialized
+// `..parallax.*` chain data. It is the campaign engine's guarded-site
+// predicate and the complement of what ComposeChecksum covers.
+func (p *Protected) GuardedByteMap() map[uint32]bool {
+	g := make(map[uint32]bool)
+	for _, ch := range p.Chains {
+		for _, gd := range ch.Gadgets() {
+			lo, hi := gd.Range()
+			for a := lo; a < hi; a++ {
+				g[a] = true
+			}
+		}
+	}
+	for _, s := range p.Image.Symbols {
+		if strings.HasPrefix(s.Name, "..parallax.") {
+			for a := s.Addr; a < s.Addr+s.Size; a++ {
+				g[a] = true
+			}
+		}
+	}
+	return g
 }
 
 // preferOverlap marks gadgets inside application code (anything except

@@ -29,6 +29,20 @@ type Program struct {
 	// VerifyFunc is the hand-picked verification-function candidate;
 	// the §VII-B automatic selection is exercised separately.
 	VerifyFunc string
+	// Workloads maps named workload profiles to alternative stdin
+	// inputs. The implicit "idle" profile is Stdin itself; generated
+	// programs add "heavy" (drives the coldflag-guarded call sites).
+	Workloads map[string][]byte
+}
+
+// Workload resolves a named workload profile to its stdin bytes.
+// "idle" (or "") always resolves to the program's default Stdin.
+func (p Program) Workload(name string) ([]byte, bool) {
+	if name == "" || name == "idle" {
+		return p.Stdin, true
+	}
+	in, ok := p.Workloads[name]
+	return in, ok
 }
 
 // All returns the six programs in the paper's order.

@@ -19,6 +19,28 @@ const fnBytesEstimate = 3220
 // text grows by decades.
 const hotCap = 64
 
+// ColdBudget is the cold-call budget the "heavy" workload grants: main
+// reads up to 4 bytes of stdin into the coldflag global, and every
+// taken cold call decrements it, so at most ColdBudget cold bodies run
+// per execution. 256 keeps the heavy run bounded (each cold body is a
+// few hundred to a few thousand instructions) while reaching most cold
+// functions in the small families, and stack depth stays well inside
+// the emulator's default budget because cold calls nest at most two
+// deep from any hot frame.
+const ColdBudget = 256
+
+// HeavyStdin returns the stdin bytes of the "heavy" workload profile:
+// ColdBudget as a 32-bit little-endian integer, consumed by the
+// read(0, &coldflag, 4) that generated mains execute on entry. Empty
+// stdin (the "idle" profile) reads 0 bytes and leaves coldflag zero,
+// preserving the historical never-taken behavior byte for byte.
+func HeavyStdin() []byte {
+	return []byte{
+		byte(ColdBudget & 0xFF), byte(ColdBudget >> 8 & 0xFF),
+		byte(ColdBudget >> 16 & 0xFF), byte(ColdBudget >> 24 & 0xFF),
+	}
+}
+
 // Generate validates params and returns the generated program for the
 // (seed, params) pair. The returned Program plugs into every stage the
 // six hand-written programs do: Build is pure and deterministic, Stdin
@@ -32,6 +54,7 @@ func Generate(seed uint64, p Params) (corpus.Program, error) {
 		Build:      func() *ir.Module { return build(seed, p) },
 		Stdin:      nil,
 		VerifyFunc: "vfy",
+		Workloads:  map[string][]byte{"heavy": HeavyStdin()},
 	}, nil
 }
 
@@ -492,18 +515,26 @@ func emitColdCall(r *rng, pl *plan, st *bodyState, gi int) {
 	cond := fb.Cmp(ir.Ne, flag, fb.Const(0))
 	fb.Br(cond, tag+".cold", tag+".join")
 	fb.Block(tag + ".cold")
+	// The flag is a decrementing budget, charged before the call so
+	// total cold calls per run are bounded by the stdin-granted budget
+	// even when loops revisit a site. Re-load rather than reuse the
+	// pre-branch value: a nested cold call may have spent budget since.
+	left := fb.Load(fb.Addr(pl.coldflag, 0))
+	fb.Store(fb.Addr(pl.coldflag, 0), fb.Sub(left, fb.Const(1)))
 	fb.Assign(st.acc, fb.Xor(st.acc, fb.Call(pl.names[target], st.acc)))
 	fb.Jmp(tag + ".join")
 	fb.Block(tag + ".join")
 	st.depth--
 }
 
-// buildMain emits the entry point: seed the accumulator, run the
-// verification candidate a few times (so its chain is hot in the
-// protected build), fire the hot chain once, and exit with a small
-// deterministic status.
+// buildMain emits the entry point: read the workload spec from stdin
+// into the coldflag budget (empty stdin leaves it zero — the idle
+// profile), seed the accumulator, run the verification candidate a few
+// times (so its chain is hot in the protected build), fire the hot
+// chain once, and exit with a small deterministic status.
 func buildMain(mb *ir.ModuleBuilder, r *rng, pl *plan) {
 	fb := mb.Func("main", 0)
+	fb.Syscall(3, fb.Const(0), fb.Addr(pl.coldflag, 0), fb.Const(4)) // read(0, &coldflag, 4)
 	h := fb.Const(int32(r.next()))
 	h1 := fb.Call("vfy", h, fb.Const(0))
 	entry := fb.Call(pl.names[pl.hotEntry()], h1)

@@ -1,0 +1,194 @@
+package emu
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"parallax/internal/x86"
+)
+
+// sysFake is a minimal SysCPU for kernel-model unit tests: a register
+// file and a sparse byte memory, no emulator.
+type sysFake struct {
+	regs map[x86.Reg]uint32
+	mem  map[uint32]byte
+	bad  map[uint32]bool // addresses whose stores fault
+}
+
+func newSysFake() *sysFake {
+	return &sysFake{regs: make(map[x86.Reg]uint32), mem: make(map[uint32]byte), bad: make(map[uint32]bool)}
+}
+
+func (f *sysFake) GetReg(r x86.Reg) uint32    { return f.regs[r] }
+func (f *sysFake) SetReg(r x86.Reg, v uint32) { f.regs[r] = v }
+func (f *sysFake) MemRead(addr, n uint32) ([]byte, error) {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		out[i] = f.mem[addr+i]
+	}
+	return out, nil
+}
+func (f *sysFake) MemStore8(addr uint32, v uint8) error {
+	if f.bad[addr] {
+		return errors.New("fault")
+	}
+	f.mem[addr] = v
+	return nil
+}
+func (f *sysFake) MemStore32(addr, v uint32) error { return nil }
+func (f *sysFake) Exit(status int32)               {}
+
+// readCall issues read(0, buf, count) through the kernel model.
+func readCall(t *testing.T, os *OS, f *sysFake, buf, count uint32) (uint32, error) {
+	t.Helper()
+	f.SetReg(x86.EAX, SysRead)
+	f.SetReg(x86.EBX, 0)
+	f.SetReg(x86.ECX, buf)
+	f.SetReg(x86.EDX, count)
+	err := os.SyscallOn(f)
+	return f.GetReg(x86.EAX), err
+}
+
+func TestSysReadShortRead(t *testing.T) {
+	os := NewOS([]byte("abc"))
+	f := newSysFake()
+
+	// Asking for more than stdin holds transfers what's there.
+	n, err := readCall(t, os, f, 0x1000, 16)
+	if err != nil || n != 3 {
+		t.Fatalf("read(16) = %d, %v; want 3, nil", n, err)
+	}
+	for i, want := range []byte("abc") {
+		if got := f.mem[0x1000+uint32(i)]; got != want {
+			t.Errorf("mem[%d] = %q, want %q", i, got, want)
+		}
+	}
+
+	// At EOF, read returns 0 — not an error, per POSIX.
+	n, err = readCall(t, os, f, 0x1000, 16)
+	if err != nil || n != 0 {
+		t.Fatalf("read at EOF = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestSysReadZeroCountAndBadFD(t *testing.T) {
+	os := NewOS([]byte("abc"))
+	f := newSysFake()
+	n, err := readCall(t, os, f, 0x1000, 0)
+	if err != nil || n != 0 {
+		t.Fatalf("read(0 bytes) = %d, %v; want 0, nil", n, err)
+	}
+
+	f.SetReg(x86.EAX, SysRead)
+	f.SetReg(x86.EBX, 7) // not stdin
+	f.SetReg(x86.ECX, 0x1000)
+	f.SetReg(x86.EDX, 4)
+	if err := os.SyscallOn(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.GetReg(x86.EAX); got != errno(EBADF) {
+		t.Fatalf("read(fd 7) = %#x, want -EBADF", got)
+	}
+}
+
+// TestSysReadHugeCount pins the chunked transfer: an attacker-
+// controlled count register must not make the harness allocate the
+// requested size, and a multi-chunk stream transfers completely.
+func TestSysReadHugeCount(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB}, 3*4096+17)
+	os := NewOS(big)
+	f := newSysFake()
+	n, err := readCall(t, os, f, 0x1000, 0xFFFFFFF0)
+	if err != nil || n != uint32(len(big)) {
+		t.Fatalf("read(huge) = %d, %v; want %d, nil", n, err, len(big))
+	}
+	if f.mem[0x1000+uint32(len(big))-1] != 0xAB {
+		t.Error("last byte not transferred")
+	}
+}
+
+func TestSysReadFaultingStore(t *testing.T) {
+	os := NewOS([]byte("abcdef"))
+	f := newSysFake()
+	f.bad[0x1002] = true
+	n, err := readCall(t, os, f, 0x1000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != errno(EFAULT) {
+		t.Fatalf("read into faulting buffer = %#x, want -EFAULT", n)
+	}
+}
+
+// errReader yields some bytes, then a non-EOF error — a failing
+// workload source (or an injected chaos fault).
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestSysReadErrorAbortsRun pins the infrastructure-error contract:
+// any non-EOF reader error aborts the run — with or without partial
+// progress — so a dying workload source (or an injected chaos fault)
+// can never silently alter program behavior and be misread as a
+// detection outcome.
+func TestSysReadErrorAbortsRun(t *testing.T) {
+	boom := errors.New("stdin died")
+
+	os := NewOS(nil)
+	os.Stdin = &errReader{err: boom}
+	f := newSysFake()
+	_, err := readCall(t, os, f, 0x1000, 8)
+	if !errors.Is(err, boom) {
+		t.Fatalf("read from dead stdin: err %v, want wrapped %v", err, boom)
+	}
+
+	// Partial progress does not launder the error into a short read.
+	os = NewOS(nil)
+	os.Stdin = &errReader{data: []byte("xy"), err: boom}
+	f = newSysFake()
+	_, err = readCall(t, os, f, 0x1000, 8)
+	if !errors.Is(err, boom) {
+		t.Fatalf("partial-then-error read: err %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestSysReadEOFMidCount covers EOF landing inside a multi-chunk
+// request: the transfer stops at the boundary with the partial count.
+func TestSysReadEOFMidCount(t *testing.T) {
+	os := NewOS(nil)
+	os.Stdin = strings.NewReader(strings.Repeat("z", 4096+100))
+	f := newSysFake()
+	n, err := readCall(t, os, f, 0x2000, 2*4096)
+	if err != nil || n != 4096+100 {
+		t.Fatalf("read = %d, %v; want %d, nil", n, err, 4096+100)
+	}
+}
+
+// TestSysReadNilStdinEBADF: a kernel built without stdin refuses the
+// read rather than crashing (the zero OS value is a working kernel).
+func TestSysReadNilStdin(t *testing.T) {
+	var os OS
+	f := newSysFake()
+	n, err := readCall(t, &os, f, 0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != errno(EBADF) {
+		t.Fatalf("read with nil stdin = %#x, want -EBADF", n)
+	}
+}
+
+var _ io.Reader = (*errReader)(nil)

@@ -3,6 +3,7 @@ package emu
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"parallax/internal/x86"
 )
@@ -83,7 +84,13 @@ const (
 type OS struct {
 	Stdout bytes.Buffer
 	Stderr bytes.Buffer
-	Stdin  *bytes.Reader
+	// Stdin backs read(2) on fd 0. NewOS installs a bytes.Reader;
+	// campaign workloads are small in-memory specs, but the interface
+	// lets the attack layer interpose a fault-injecting reader
+	// (chaos.Reader) without a second kernel path. Read errors other
+	// than io.EOF abort the run — they are infrastructure failures,
+	// not program behavior.
+	Stdin io.Reader
 
 	// DebuggerAttached makes ptrace(PTRACE_TRACEME) fail, as it does
 	// when a real debugger already traces the process.
@@ -161,16 +168,45 @@ func (os *OS) SyscallOn(sc SysCPU) error {
 			sc.SetReg(x86.EAX, errno(EBADF))
 			return nil
 		}
-		buf := make([]byte, a3)
-		n, _ := os.Stdin.Read(buf)
-		for i := 0; i < n; i++ {
-			if err := sc.MemStore8(a2+uint32(i), buf[i]); err != nil {
-				sc.SetReg(x86.EAX, errno(EFAULT))
-				return nil
+		// Chunked transfer: the count register is attacker-controlled
+		// on mutant runs, so never allocate a3 bytes up front — a
+		// corrupted read(0, buf, 0xFFFFFFFF) must cost the harness at
+		// most one chunk of memory. POSIX short-read semantics: stop at
+		// the first short chunk (EOF included) and return the byte
+		// count transferred so far; 0 at immediate EOF. Any non-EOF
+		// reader error aborts the run, even after partial progress:
+		// a dying workload source (or an injected chaos fault) is
+		// infrastructure and must never silently alter program
+		// behavior — a partial count here would let a campaign
+		// misclassify the garbled run as a detection.
+		var chunk [4096]byte
+		total := uint32(0)
+		var readErr error
+		for total < a3 {
+			want := a3 - total
+			if want > uint32(len(chunk)) {
+				want = uint32(len(chunk))
+			}
+			n, err := os.Stdin.Read(chunk[:want])
+			for i := 0; i < n; i++ {
+				if serr := sc.MemStore8(a2+total+uint32(i), chunk[i]); serr != nil {
+					sc.SetReg(x86.EAX, errno(EFAULT))
+					return nil
+				}
+			}
+			total += uint32(n)
+			if err != nil || n == 0 {
+				if err != io.EOF {
+					readErr = err
+				}
+				break
 			}
 		}
-		sc.SetReg(x86.EAX, uint32(n))
-		os.trace("read(0, %d) = %d", a3, n)
+		if readErr != nil {
+			return fmt.Errorf("emu: read(0): %w", readErr)
+		}
+		sc.SetReg(x86.EAX, total)
+		os.trace("read(0, %d) = %d", a3, total)
 
 	case SysTime:
 		now := os.Now

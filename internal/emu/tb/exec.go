@@ -491,13 +491,16 @@ nextBlock:
 			c.Reg[op.r1] = r
 
 		case opPushR:
+			// Value first: PUSH ESP pushes the pre-decrement ESP, so the
+			// source register must be read before the stack pointer moves.
+			v := c.Reg[op.r1]
 			sp := c.Reg[x86.ESP] - 4
 			if s := e.stk; s != nil && sp-s.Addr <= uint32(len(s.Data))-4 {
 				c.Reg[x86.ESP] = sp
-				writeDword(s, sp-s.Addr, c.Reg[op.r1])
+				writeDword(s, sp-s.Addr, v)
 				break
 			}
-			if err := e.push32(c.Reg[op.r1], op.pc); err != nil {
+			if err := e.push32(v, op.pc); err != nil {
 				return nil, icount, cycles, err
 			}
 		case opPushI:

@@ -1,0 +1,48 @@
+package tb_test
+
+import (
+	"testing"
+
+	"parallax/internal/emu/tb"
+	"parallax/internal/x86"
+)
+
+// TestPushESPParity pins the PUSH ESP corner on the stack-window fast
+// path: the pushed value is the pre-decrement stack pointer. The first
+// push warms the stack segment cache through the slow path, so the
+// second one executes the cached-dword shortcut — the path that once
+// read ESP after moving it. Found by a campaign cross-engine check on
+// a bitflip mutant that turned a prologue's push ebp into push esp.
+func TestPushESPParity(t *testing.T) {
+	code := []byte{
+		0xB8, 0x07, 0x00, 0x00, 0x00, // mov eax, 7
+		0x50, // push eax  (slow path; warms the stk cache)
+		0x54, // push esp  (fast path; must push the old ESP)
+		0x5B, // pop ebx   (ebx = value push esp stored)
+		0x59, // pop ecx   (restore balance; ecx = 7)
+		0xC3, // ret
+	}
+	tc := loadWX(t, code)
+	e := tb.New(tc, nil)
+	defer e.Close()
+	entrySP := tc.Reg[x86.ESP]
+	if err := e.Run(); err != nil {
+		t.Fatalf("tb run: %v (eip=%#x)", err, tc.EIP)
+	}
+	// SDM semantics, asserted directly: push esp ran with ESP at
+	// entry-4 (one push deep), so that is the value it must store.
+	if want := entrySP - 4; tc.Reg[x86.EBX] != want {
+		t.Errorf("push esp stored %#x, want pre-decrement esp %#x", tc.Reg[x86.EBX], want)
+	}
+
+	ic := loadWX(t, code)
+	errI := ic.Run()
+	if errI != nil {
+		t.Fatalf("interp run: %v", errI)
+	}
+	if ic.Reg != tc.Reg || ic.Icount != tc.Icount || ic.Cycles != tc.Cycles ||
+		ic.Status != tc.Status || ic.Flags() != tc.Flags() || ic.EIP != tc.EIP {
+		t.Errorf("tb/interp mismatch:\n tb:     %v icount=%d\n interp: %v icount=%d",
+			tc.Reg, tc.Icount, ic.Reg, ic.Icount)
+	}
+}

@@ -247,6 +247,10 @@ func regionRates(rep *campaign.Report, info gen.Info) (hot, cold, data float64) 
 			// Serial corruption hits the container, not a region class.
 		case strings.HasPrefix(r.Region, "..parallax."):
 			acc(&d, r)
+		case strings.HasPrefix(r.Region, "..cs."):
+			// Composed checksum-network checkers execute on every run
+			// (entry wrapper), so they are hot code, not cold.
+			acc(&h, r)
 		case r.Region == "vfy" || r.Region == "main" || info.Hot[r.Region]:
 			acc(&h, r)
 		default:
